@@ -1,0 +1,64 @@
+//! Criterion microbench: set-associative cache access/fill throughput for
+//! the replacement policies the evaluation uses (LRU, T-OPT, SRRIP).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use simcore::cache::{Cache, LookupResult};
+use simcore::config::{CacheConfig, PrefetcherKind, ReplacementKind};
+use simcore::replacement::ReplCtx;
+
+fn cache_with(replacement: ReplacementKind) -> Cache {
+    Cache::new(&CacheConfig {
+        sets: 2048,
+        ways: 11,
+        latency: 56,
+        mshr_entries: 64,
+        replacement,
+        prefetcher: PrefetcherKind::None,
+    })
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_ops");
+    group.throughput(Throughput::Elements(1024));
+
+    for (name, kind) in [
+        ("lru", ReplacementKind::Lru),
+        ("topt", ReplacementKind::TOpt),
+        ("srrip", ReplacementKind::Srrip),
+    ] {
+        group.bench_function(format!("random_access_fill_{name}"), |b| {
+            let mut cache = cache_with(kind);
+            let mut x = 0xDEADBEEFu64;
+            b.iter(|| {
+                for _ in 0..1024 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let block = x >> 20 & 0xFFFFF;
+                    let addr = block << 6;
+                    let ctx = ReplCtx { next_use: (x & 0xFFFF) as u32, pos: 0, sid: 3 };
+                    if cache.access(addr, block, false, ctx) == LookupResult::Miss {
+                        black_box(cache.fill(addr, block, false, false, ctx));
+                    }
+                }
+            });
+        });
+    }
+
+    group.bench_function("hot_set_hits_lru", |b| {
+        let mut cache = cache_with(ReplacementKind::Lru);
+        for block in 0..8u64 {
+            cache.fill(block << 6, block, false, false, ReplCtx::NONE);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                i = (i + 1) % 8;
+                black_box(cache.access(i << 6, i, false, ReplCtx::NONE));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

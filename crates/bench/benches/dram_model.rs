@@ -1,0 +1,52 @@
+//! Criterion microbench: DRAM timing-model throughput under row-friendly
+//! and row-hostile streams.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use simcore::dram::Dram;
+use simcore::SystemConfig;
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_model");
+    group.throughput(Throughput::Elements(1024));
+
+    group.bench_function("sequential_row_hits", |b| {
+        let mut dram = Dram::new(&SystemConfig::baseline(1).dram);
+        let mut now = 0u64;
+        let mut block = 0u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                block += 1;
+                now = black_box(dram.access(block, false, now));
+            }
+        });
+    });
+
+    group.bench_function("random_row_conflicts", |b| {
+        let mut dram = Dram::new(&SystemConfig::baseline(1).dram);
+        let mut now = 0u64;
+        let mut x = 0x12345u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let done = black_box(dram.access(x >> 16 & 0xFFFFFF, false, now));
+                now = done.saturating_sub(100); // trail completions
+            }
+        });
+    });
+
+    group.bench_function("prefetch_drop_path", |b| {
+        let mut dram = Dram::new(&SystemConfig::baseline(1).dram);
+        let mut x = 7u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                black_box(dram.try_prefetch(x >> 16 & 0xFFFFFF, 0, 6));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: end-to-end simulation rate (instructions simulated per
+//! second of wall time) for the Baseline and SDC+LP systems on an
+//! irregular workload — the figure that determines how long the paper's
+//! experiment battery takes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpkernels::{run_kernel_windowed, Kernel, KernelInput};
+use sdclp::{sdclp_system, SdcLpConfig};
+use simcore::{
+    BaselineHierarchy, CompactTrace, Engine, MemorySystem, RecordingTracer, SystemConfig, Window,
+};
+
+fn record(input: &KernelInput, instrs: u64) -> CompactTrace {
+    let mut rec = RecordingTracer::new(instrs);
+    run_kernel_windowed(Kernel::Cc, input, 0, &mut rec);
+    rec.finish()
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let input = KernelInput::from_symmetric(gpgraph::gen::urand(1 << 16, 8, 3));
+    const WINDOW: u64 = 500_000;
+    let trace = record(&input, WINDOW);
+    let cfg = SystemConfig::baseline(1);
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WINDOW));
+
+    group.bench_function("replay_baseline", |b| {
+        b.iter(|| {
+            let sys: Box<dyn MemorySystem + Send> = Box::new(BaselineHierarchy::new(&cfg));
+            let mut engine =
+                Engine::new(sys, cfg.core.width, cfg.core.rob_entries, Window::new(0, WINDOW));
+            engine.replay(&trace);
+            engine.finish()
+        });
+    });
+
+    group.bench_function("replay_sdclp", |b| {
+        b.iter(|| {
+            let sys: Box<dyn MemorySystem + Send> =
+                Box::new(sdclp_system(&cfg, SdcLpConfig::table1()));
+            let mut engine =
+                Engine::new(sys, cfg.core.width, cfg.core.rob_entries, Window::new(0, WINDOW));
+            engine.replay(&trace);
+            engine.finish()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

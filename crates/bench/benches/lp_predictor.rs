@@ -1,0 +1,48 @@
+//! Criterion microbench: Large Predictor throughput — the LP sits on the
+//! AGU critical path, so its software-model cost bounds simulation speed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sdclp::{LargePredictor, LpConfig};
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_predictor");
+    group.throughput(Throughput::Elements(1024));
+
+    group.bench_function("predict_train_regular_stream", |b| {
+        let mut lp = LargePredictor::new(LpConfig::table1());
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                i += 1;
+                black_box(lp.predict_and_train(black_box(7), i));
+            }
+        });
+    });
+
+    group.bench_function("predict_train_irregular_stream", |b| {
+        let mut lp = LargePredictor::new(LpConfig::table1());
+        let mut x = 0x9E3779B97F4A7C15u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                black_box(lp.predict_and_train(black_box(x % 64), x >> 24));
+            }
+        });
+    });
+
+    group.bench_function("predict_train_fully_associative_64", |b| {
+        let mut lp = LargePredictor::new(LpConfig::fully_associative(64, 8));
+        let mut x = 1u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                black_box(lp.predict_and_train(x % 100, x >> 24));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

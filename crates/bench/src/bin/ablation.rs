@@ -1,0 +1,150 @@
+//! Ablation studies for the design choices DESIGN.md calls out (not paper
+//! figures — sanity checks that each piece of the proposal earns its
+//! keep). Runs on a representative workload subset; pass --only to widen.
+//!
+//! 1. Routing: LP vs Expert vs route-everything-to-SDC vs none.
+//!    (Shows the predictor is what makes the SDC usable.)
+//! 2. SDC-miss directory-probe latency sensitivity.
+//! 3. LLC replacement: LRU vs SRRIP vs T-OPT on the baseline hierarchy.
+//!    (RRIP-class policies do little for graphs — Section VI's claim.)
+
+use gpbench::{pct, HarnessOpts, TextTable};
+use gpworkloads::{SystemKind, Workload};
+use gpgraph::GraphInput;
+use gpkernels::Kernel;
+use sdclp::{Route, SdcCore, SdcLpConfig, StaticRouter};
+use simcore::config::ReplacementKind;
+use simcore::geomean;
+use simcore::hierarchy::{SharedBackend, SingleCore};
+use simcore::SystemConfig;
+
+fn subset() -> Vec<Workload> {
+    vec![
+        Workload::new(Kernel::Cc, GraphInput::Urand),
+        Workload::new(Kernel::Pr, GraphInput::Kron),
+        Workload::new(Kernel::Bfs, GraphInput::Twitter),
+        Workload::new(Kernel::Sssp, GraphInput::Kron),
+        Workload::new(Kernel::Bc, GraphInput::Urand),
+        Workload::new(Kernel::Cc, GraphInput::Friendster),
+    ]
+}
+
+fn main() {
+    let opts = HarnessOpts::parse_args();
+    let runner = opts.runner();
+    let sys_cfg = SystemConfig::baseline(1);
+
+    // --- Ablation 1: routing policy -------------------------------------
+    println!("Ablation 1: what routes accesses to the SDC?");
+    let mut t1 = TextTable::new(vec!["workload", "LP (paper)", "Expert", "all-to-SDC"]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for w in subset() {
+        if !opts.selected(&w.name()) {
+            continue;
+        }
+        let base = runner.run_one(w, SystemKind::Baseline);
+        let lp = runner.run_one(w, SystemKind::SdcLp).speedup_over(&base);
+        let expert = runner.run_one(w, SystemKind::Expert).speedup_over(&base);
+        let all_sdc = {
+            let core = SdcCore::new(&sys_cfg, SdcLpConfig::table1(), StaticRouter(Route::Sdc), 0);
+            let sys = SingleCore::from_parts(core, SharedBackend::new(&sys_cfg));
+            runner.run_custom(w, Box::new(sys)).speedup_over(&base)
+        };
+        for (c, v) in cols.iter_mut().zip([lp, expert, all_sdc]) {
+            c.push(v);
+        }
+        t1.row(vec![w.name(), pct(lp), pct(expert), pct(all_sdc)]);
+        eprintln!("ablation1 {w}");
+    }
+    t1.row(vec![
+        "GEOMEAN".into(),
+        pct(geomean(&cols[0])),
+        pct(geomean(&cols[1])),
+        pct(geomean(&cols[2])),
+    ]);
+    t1.print();
+
+    // --- Ablation 2: directory-probe latency ----------------------------
+    println!();
+    println!("Ablation 2: SDC-miss directory-probe latency sensitivity");
+    let mut t2 = TextTable::new(vec!["workload", "4cy", "8cy (paper-ish)", "16cy", "32cy"]);
+    for w in subset() {
+        if !opts.selected(&w.name()) {
+            continue;
+        }
+        let base = runner.run_one(w, SystemKind::Baseline);
+        let mut cells = vec![w.name()];
+        for lat in [4u64, 8, 16, 32] {
+            let cfg = SdcLpConfig { dir_probe_latency: lat, ..SdcLpConfig::table1() };
+            let res = runner.run_custom(w, Box::new(sdclp::sdclp_system(&sys_cfg, cfg)));
+            cells.push(pct(res.speedup_over(&base)));
+        }
+        t2.row(cells);
+        eprintln!("ablation2 {w}");
+    }
+    t2.print();
+
+    // --- Ablation 3: related-work cache tweaks on the baseline ----------
+    println!();
+    println!("Ablation 3: LLC replacement + victim cache (baseline hierarchy)");
+    let mut t3 = TextTable::new(vec!["workload", "SRRIP", "T-OPT", "victim cache"]);
+    for w in subset() {
+        if !opts.selected(&w.name()) {
+            continue;
+        }
+        let base = runner.run_one(w, SystemKind::Baseline);
+        let mut cells = vec![w.name()];
+        for kind in [ReplacementKind::Srrip, ReplacementKind::TOpt] {
+            let mut cfg = sys_cfg;
+            cfg.llc.replacement = kind;
+            let res = runner.run_custom(w, Box::new(simcore::BaselineHierarchy::new(&cfg)));
+            cells.push(pct(res.speedup_over(&base)));
+        }
+        // Jouppi-style 16-entry victim cache: recovers conflict misses,
+        // which the paper argues graph workloads barely have.
+        let vcfg = SystemConfig::victim_cache(1);
+        let res = runner.run_custom(w, Box::new(simcore::BaselineHierarchy::new(&vcfg)));
+        cells.push(pct(res.speedup_over(&base)));
+        t3.row(cells);
+        runner.evict_trace(w);
+        eprintln!("ablation3 {w}");
+    }
+    t3.print();
+
+    // --- Ablation 4: prefetcher interplay (the paper's future work) -----
+    println!();
+    println!("Ablation 4: L1D prefetcher x SDC+LP (Section VI leaves the combination to future work)");
+    let mut t4 = TextTable::new(vec![
+        "workload",
+        "base+stride",
+        "sdclp (next-line)",
+        "sdclp+stride L1D",
+    ]);
+    for w in subset() {
+        if !opts.selected(&w.name()) {
+            continue;
+        }
+        let base = runner.run_one(w, SystemKind::Baseline);
+        let mut stride_cfg = sys_cfg;
+        stride_cfg.l1d.prefetcher = simcore::config::PrefetcherKind::Stride;
+        let base_stride = runner
+            .run_custom(w, Box::new(simcore::BaselineHierarchy::new(&stride_cfg)))
+            .speedup_over(&base);
+        let sdclp = runner.run_one(w, SystemKind::SdcLp).speedup_over(&base);
+        let sdclp_stride = runner
+            .run_custom(
+                w,
+                Box::new(sdclp::sdclp_system(&stride_cfg, SdcLpConfig::table1())),
+            )
+            .speedup_over(&base);
+        t4.row(vec![w.name(), pct(base_stride), pct(sdclp), pct(sdclp_stride)]);
+        runner.evict_trace(w);
+        eprintln!("ablation4 {w}");
+    }
+    t4.print();
+
+    println!();
+    println!("Expected: LP ~ Expert >> all-to-SDC; mild probe-latency sensitivity;");
+    println!("SRRIP ~ LRU on graphs while the T-OPT oracle helps (paper Section VI);");
+    println!("stride prefetching composes with (does not replace) the SDC+LP win.");
+}

@@ -1,0 +1,43 @@
+//! Diagnostic deep-dive: full component statistics for one workload under
+//! every system design. Not a paper figure — the tool used to validate the
+//! simulator's behaviour against the paper's narrative (and to debug it).
+
+use gpbench::HarnessOpts;
+use gpworkloads::{all_workloads, SystemKind};
+
+fn main() {
+    let opts = HarnessOpts::parse_args();
+    let runner = opts.runner();
+
+    for w in all_workloads() {
+        if !opts.selected(&w.name()) {
+            continue;
+        }
+        println!("=== {w} (scale {:?}, window {}+{}) ===", opts.scale, opts.window.warmup, opts.window.measure);
+        let base = runner.run_one(w, SystemKind::Baseline);
+        for kind in SystemKind::ALL {
+            let r = runner.run_one(w, kind);
+            let s = &r.stats;
+            println!(
+                "{:<18} ipc {:.3} speedup {:+.1}% | MPKI l1d {:6.1} sdc {:6.1} l2c {:6.1} llc {:6.1} | \
+                 dram r/w {:>8}/{:<8} rowhit {:4.1}% lat {:6.1} | routed sdc {:5.1}% srv-hier {} pf-fills l1 {} sdc {}",
+                kind.name(),
+                r.ipc(),
+                (r.speedup_over(&base) - 1.0) * 100.0,
+                r.l1d_mpki(),
+                r.sdc_mpki(),
+                r.l2c_mpki(),
+                r.llc_mpki(),
+                s.dram.reads,
+                s.dram.writes,
+                s.dram.row_hit_ratio() * 100.0,
+                s.dram.mean_read_latency(),
+                100.0 * s.routed_to_sdc as f64 / (s.routed_to_sdc + s.routed_to_l1d).max(1) as f64,
+                s.sdc_served_by_hierarchy,
+                s.l1d.prefetch_fills,
+                s.sdc.prefetch_fills,
+            );
+        }
+        runner.evict_trace(w);
+    }
+}

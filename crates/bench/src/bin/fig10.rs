@@ -1,0 +1,70 @@
+//! Figure 10: SDC size design-space exploration — (a) SDC MPKI and
+//! (b) speedup over Baseline for 8 KiB / 16 KiB / 32 KiB SDCs (the larger
+//! points pay 3- and 4-cycle latencies, Table I footnotes).
+//!
+//! Paper reference: MPKI 50.5 / 49.1 / 48.0; the 8 KiB point performs
+//! best overall because its 1-cycle hit latency beats the marginal MPKI
+//! gains of the bigger configurations.
+
+use gpbench::{pct, HarnessOpts, TextTable};
+use gpworkloads::{all_workloads, SystemKind};
+use sdclp::{SdcConfig, SdcLpConfig};
+use simcore::geomean;
+
+fn main() {
+    let opts = HarnessOpts::parse_args();
+    let runner = opts.runner();
+
+    let points = [
+        ("8KB", SdcConfig::table1()),
+        ("16KB", SdcConfig::kb16()),
+        ("32KB", SdcConfig::kb32()),
+    ];
+
+    let mut table =
+        TextTable::new(vec!["workload", "8KB MPKI", "16KB MPKI", "32KB MPKI", "8KB", "16KB", "32KB"]);
+    let mut mpki_sum = [0.0f64; 3];
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut n = 0;
+
+    for w in all_workloads() {
+        if !opts.selected(&w.name()) {
+            continue;
+        }
+        let base = runner.run_one(w, SystemKind::Baseline);
+        let mut mpkis = Vec::new();
+        let mut pcts = Vec::new();
+        for (i, (_, sdc)) in points.iter().enumerate() {
+            let cfg = SdcLpConfig { sdc: *sdc, ..runner.sdclp };
+            let sys = build_system_with(cfg);
+            let res = runner.run_custom(w, sys);
+            let s = res.speedup_over(&base);
+            mpki_sum[i] += res.sdc_mpki();
+            speedups[i].push(s);
+            mpkis.push(format!("{:.1}", res.sdc_mpki()));
+            pcts.push(pct(s));
+        }
+        let mut cells = vec![w.name()];
+        cells.extend(mpkis);
+        cells.extend(pcts);
+        table.row(cells);
+        n += 1;
+        runner.evict_trace(w);
+        eprintln!("done {w}");
+    }
+
+    let mut cells = vec!["AVG/GEOMEAN".to_string()];
+    cells.extend(mpki_sum.iter().map(|s| format!("{:.1}", s / n.max(1) as f64)));
+    cells.extend(speedups.iter().map(|v| pct(geomean(v))));
+    table.row(cells);
+
+    println!("Figure 10: SDC size exploration ({:?} scale)", opts.scale);
+    table.print();
+    println!();
+    println!("Paper reference: SDC MPKI 50.5/49.1/48.0; 8KB performs best (latency beats capacity).");
+}
+
+fn build_system_with(cfg: SdcLpConfig) -> Box<dyn simcore::MemorySystem + Send> {
+    let sys_cfg = simcore::SystemConfig::baseline(1);
+    Box::new(sdclp::sdclp_system(&sys_cfg, cfg))
+}

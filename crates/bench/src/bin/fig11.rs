@@ -1,0 +1,53 @@
+//! Figure 11: LP prediction-table entry-count sweep — fully-associative
+//! tables of 8/16/32/64 entries.
+//!
+//! Paper reference geomeans: +13.7% / +17.9% / +20.7% / +20.7% — returns
+//! saturate at 32 entries because graph kernels have few static access
+//! sites.
+
+use gpbench::{pct, HarnessOpts, TextTable};
+use gpworkloads::{all_workloads, SystemKind};
+use sdclp::{LpConfig, SdcLpConfig};
+use simcore::geomean;
+
+fn main() {
+    let opts = HarnessOpts::parse_args();
+    let runner = opts.runner();
+    let entry_counts = [8usize, 16, 32, 64];
+
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(entry_counts.iter().map(|e| format!("{e} entries")));
+    let mut table = TextTable::new(headers);
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); entry_counts.len()];
+
+    for w in all_workloads() {
+        if !opts.selected(&w.name()) {
+            continue;
+        }
+        let base = runner.run_one(w, SystemKind::Baseline);
+        let mut cells = vec![w.name()];
+        for (i, &entries) in entry_counts.iter().enumerate() {
+            let cfg = SdcLpConfig {
+                lp: LpConfig::fully_associative(entries, runner.sdclp.lp.tau_glob),
+                ..runner.sdclp
+            };
+            let sys = Box::new(sdclp::sdclp_system(&simcore::SystemConfig::baseline(1), cfg));
+            let res = runner.run_custom(w, sys);
+            let s = res.speedup_over(&base);
+            speedups[i].push(s);
+            cells.push(pct(s));
+        }
+        table.row(cells);
+        runner.evict_trace(w);
+        eprintln!("done {w}");
+    }
+
+    let mut geo = vec!["GEOMEAN".to_string()];
+    geo.extend(speedups.iter().map(|v| pct(geomean(v))));
+    table.row(geo);
+
+    println!("Figure 11: LP entry-count sweep, fully associative ({:?} scale)", opts.scale);
+    table.print();
+    println!();
+    println!("Paper reference geomeans: 8 +13.7%, 16 +17.9%, 32 +20.7%, 64 +20.7%.");
+}

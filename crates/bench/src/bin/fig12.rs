@@ -1,0 +1,58 @@
+//! Figure 12: LP associativity sweep at 32 entries — direct-mapped,
+//! 2-way, 8-way, fully associative.
+//!
+//! Paper reference geomeans: +17.0% / +20.3% / +20.7% / +20.7% — the
+//! 8-way design (Table I) approaches the fully-associative optimum.
+
+use gpbench::{pct, HarnessOpts, TextTable};
+use gpworkloads::{all_workloads, SystemKind};
+use sdclp::{LpConfig, SdcLpConfig};
+use simcore::geomean;
+
+fn main() {
+    let opts = HarnessOpts::parse_args();
+    let runner = opts.runner();
+    let ways_sweep = [1usize, 2, 8, 32];
+
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(ways_sweep.iter().map(|w| {
+        if *w == 32 {
+            "full".to_string()
+        } else {
+            format!("{w}-way")
+        }
+    }));
+    let mut table = TextTable::new(headers);
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); ways_sweep.len()];
+
+    for w in all_workloads() {
+        if !opts.selected(&w.name()) {
+            continue;
+        }
+        let base = runner.run_one(w, SystemKind::Baseline);
+        let mut cells = vec![w.name()];
+        for (i, &ways) in ways_sweep.iter().enumerate() {
+            let cfg = SdcLpConfig {
+                lp: LpConfig { entries: 32, ways, tau_glob: runner.sdclp.lp.tau_glob },
+                ..runner.sdclp
+            };
+            let sys = Box::new(sdclp::sdclp_system(&simcore::SystemConfig::baseline(1), cfg));
+            let res = runner.run_custom(w, sys);
+            let s = res.speedup_over(&base);
+            speedups[i].push(s);
+            cells.push(pct(s));
+        }
+        table.row(cells);
+        runner.evict_trace(w);
+        eprintln!("done {w}");
+    }
+
+    let mut geo = vec!["GEOMEAN".to_string()];
+    geo.extend(speedups.iter().map(|v| pct(geomean(v))));
+    table.row(geo);
+
+    println!("Figure 12: LP associativity sweep, 32 entries ({:?} scale)", opts.scale);
+    table.print();
+    println!();
+    println!("Paper reference geomeans: 1-way +17.0%, 2-way +20.3%, 8-way +20.7%, full +20.7%.");
+}

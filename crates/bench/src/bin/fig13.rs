@@ -1,0 +1,40 @@
+//! Figure 13: SDC+LP vs the Expert Programmer approach (static
+//! per-data-structure classification from offline analysis).
+//!
+//! Paper reference: Expert +19.1% vs SDC+LP +20.3% geomean — the LP
+//! matches expert knowledge, beating it where connectivity is
+//! heterogeneous (bc.road) and losing where tau_glob = 8 misfits
+//! (pr.web).
+
+use gpbench::{pct, HarnessOpts, TextTable};
+use gpworkloads::{all_workloads, SystemKind};
+use simcore::geomean;
+
+fn main() {
+    let opts = HarnessOpts::parse_args();
+    let runner = opts.runner();
+
+    let mut table = TextTable::new(vec!["workload", "SDC+LP", "Expert Programmer"]);
+    let (mut s_lp, mut s_ex) = (Vec::new(), Vec::new());
+
+    for w in all_workloads() {
+        if !opts.selected(&w.name()) {
+            continue;
+        }
+        let base = runner.run_one(w, SystemKind::Baseline);
+        let lp = runner.run_one(w, SystemKind::SdcLp).speedup_over(&base);
+        let ex = runner.run_one(w, SystemKind::Expert).speedup_over(&base);
+        table.row(vec![w.name(), pct(lp), pct(ex)]);
+        s_lp.push(lp);
+        s_ex.push(ex);
+        runner.evict_trace(w);
+        eprintln!("done {w}");
+    }
+
+    table.row(vec!["GEOMEAN".to_string(), pct(geomean(&s_lp)), pct(geomean(&s_ex))]);
+
+    println!("Figure 13: SDC+LP vs Expert Programmer ({:?} scale)", opts.scale);
+    table.print();
+    println!();
+    println!("Paper reference geomeans: SDC+LP +20.3%, Expert +19.1%.");
+}

@@ -1,0 +1,36 @@
+//! Figure 3: probability that a memory access is served by DRAM, bucketed
+//! by the stride (in cache blocks) from the previous access by the same
+//! PC. Workload: cc.friendster, as in the paper.
+//!
+//! Paper reference: ~11.6% for strides in (10^0,10^1], rising to ~97.6%
+//! for strides in (10^5,10^6] — Finding 3, the signal the LP exploits.
+
+use gpbench::{HarnessOpts, TextTable};
+use gpworkloads::{cc_friendster, SystemKind};
+use simcore::stats::{stride_bucket_label, STRIDE_BUCKETS};
+
+fn main() {
+    let opts = HarnessOpts::parse_args();
+    let runner = opts.runner();
+
+    let w = cc_friendster();
+    let (result, profile) = runner.run_with_stride_profile(w, SystemKind::Baseline);
+
+    let mut table = TextTable::new(vec!["stride bucket", "accesses", "P(DRAM)"]);
+    for i in 0..STRIDE_BUCKETS {
+        table.row(vec![
+            stride_bucket_label(i).to_string(),
+            profile.accesses[i].to_string(),
+            format!("{:.1}%", profile.dram_probability(i) * 100.0),
+        ]);
+    }
+
+    println!(
+        "Figure 3: P(served by DRAM) per PC-stride bucket, {w} ({:?} scale, IPC {:.3})",
+        opts.scale,
+        result.ipc()
+    );
+    table.print();
+    println!();
+    println!("Paper reference: 11.6% at (10^0,10^1], 97.6% at (10^5,10^6].");
+}

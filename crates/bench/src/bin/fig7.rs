@@ -1,0 +1,55 @@
+//! Figure 7: single-core performance improvement of SDC+LP, T-OPT, Distill
+//! Cache, L1D 40KB ISO, and 2xLLC over the Baseline across the 36
+//! graph-processing workloads.
+//!
+//! Paper reference (geomean over Baseline): L1D 40KB ISO +0.0%, Distill
+//! +0.1%, T-OPT +9.4%, 2xLLC +11.2%, SDC+LP +20.3%.
+
+use gpbench::{pct, HarnessOpts, TextTable};
+use gpworkloads::{all_workloads, SystemKind};
+use simcore::geomean;
+
+fn main() {
+    let opts = HarnessOpts::parse_args();
+    let runner = opts.runner();
+    let kinds = [
+        SystemKind::L1d40kIso,
+        SystemKind::Distill,
+        SystemKind::TOpt,
+        SystemKind::DoubleLlc,
+        SystemKind::SdcLp,
+    ];
+
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(kinds.iter().map(|k| k.name().to_string()));
+    let mut table = TextTable::new(headers);
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+
+    for w in all_workloads() {
+        if !opts.selected(&w.name()) {
+            continue;
+        }
+        let base = runner.run_one(w, SystemKind::Baseline);
+        let mut cells = vec![w.name()];
+        for (i, &kind) in kinds.iter().enumerate() {
+            let res = runner.run_one(w, kind);
+            let s = res.speedup_over(&base);
+            speedups[i].push(s);
+            cells.push(pct(s));
+        }
+        table.row(cells);
+        runner.evict_trace(w);
+        eprintln!("done {w}");
+    }
+
+    let mut geo = vec!["GEOMEAN".to_string()];
+    for s in &speedups {
+        geo.push(pct(geomean(s)));
+    }
+    table.row(geo);
+
+    println!("Figure 7: single-core speedup over Baseline ({:?} scale)", opts.scale);
+    table.print();
+    println!();
+    println!("Paper reference geomeans: L1D40K +0.0%, Distill +0.1%, T-OPT +9.4%, 2xLLC +11.2%, SDC+LP +20.3%");
+}

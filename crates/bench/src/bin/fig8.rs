@@ -1,0 +1,53 @@
+//! Figure 8: L2C and LLC MPKI of the Baseline vs SDC+LP per workload.
+//!
+//! Paper reference: averages drop from 44.5 / 41.8 (Baseline L2C / LLC)
+//! to 4.4 / 2.8 (SDC+LP) — the bypass removes the useless look-ups.
+
+use gpbench::{HarnessOpts, TextTable};
+use gpworkloads::{all_workloads, SystemKind};
+
+fn main() {
+    let opts = HarnessOpts::parse_args();
+    let runner = opts.runner();
+
+    let mut table = TextTable::new(vec![
+        "workload",
+        "base L2C",
+        "base LLC",
+        "sdclp L2C",
+        "sdclp LLC",
+    ]);
+    let mut sums = [0.0f64; 4];
+    let mut n = 0;
+
+    for w in all_workloads() {
+        if !opts.selected(&w.name()) {
+            continue;
+        }
+        let base = runner.run_one(w, SystemKind::Baseline);
+        let sdclp = runner.run_one(w, SystemKind::SdcLp);
+        let row = [base.l2c_mpki(), base.llc_mpki(), sdclp.l2c_mpki(), sdclp.llc_mpki()];
+        table.row(
+            std::iter::once(w.name())
+                .chain(row.iter().map(|v| format!("{v:.1}")))
+                .collect(),
+        );
+        for (s, v) in sums.iter_mut().zip(row) {
+            *s += v;
+        }
+        n += 1;
+        runner.evict_trace(w);
+        eprintln!("done {w}");
+    }
+
+    table.row(
+        std::iter::once("AVERAGE".to_string())
+            .chain(sums.iter().map(|s| format!("{:.1}", s / n.max(1) as f64)))
+            .collect(),
+    );
+
+    println!("Figure 8: L2C/LLC MPKI, Baseline vs SDC+LP ({:?} scale)", opts.scale);
+    table.print();
+    println!();
+    println!("Paper reference averages: L2C 44.5 -> 4.4, LLC 41.8 -> 2.8.");
+}

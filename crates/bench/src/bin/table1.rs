@@ -1,0 +1,73 @@
+//! Table I: the full system configuration, printed from the live config
+//! structs (so the dump can never drift from what the simulator runs).
+
+use sdclp::SdcLpConfig;
+use simcore::config::PAGE_WALK_LATENCY;
+use simcore::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::baseline(1);
+    let sdclp = SdcLpConfig::table1();
+
+    println!("Table I: system configuration");
+    println!("-----------------------------");
+    println!(
+        "CPU          {} GHz, {}-wide out-of-order, {}-entry ROB",
+        cfg.dram.core_clock_ghz, cfg.core.width, cfg.core.rob_entries
+    );
+    println!(
+        "L1 DTLB      {}-entry, {}-way, {}-cycle",
+        cfg.dtlb.entries(),
+        cfg.dtlb.ways,
+        cfg.dtlb.latency
+    );
+    println!(
+        "L2 TLB       {}-entry, {}-way, {}-cycle (page walk {} cycles)",
+        cfg.stlb.entries(),
+        cfg.stlb.ways,
+        cfg.stlb.latency,
+        PAGE_WALK_LATENCY
+    );
+    println!(
+        "L1-D Cache   {} KiB, {}-way, {}-cycle, {} MSHRs, LRU, next-line prefetcher",
+        cfg.l1d.size_bytes() / 1024,
+        cfg.l1d.ways,
+        cfg.l1d.latency,
+        cfg.l1d.mshr_entries
+    );
+    println!(
+        "SDC          {} KiB, {}-way, {}-cycle, {} MSHRs, LRU, next-line prefetcher",
+        sdclp.sdc.size_bytes() / 1024,
+        sdclp.sdc.ways,
+        sdclp.sdc.latency,
+        sdclp.sdc.mshr_entries
+    );
+    println!(
+        "LP           {} entries, {}-way, LRU, tau_glob = {}",
+        sdclp.lp.entries, sdclp.lp.ways, sdclp.lp.tau_glob
+    );
+    println!(
+        "L2 Cache     {} KiB, {}-way, {}-cycle, {} MSHRs, LRU, SPP prefetcher",
+        cfg.l2c.size_bytes() / 1024,
+        cfg.l2c.ways,
+        cfg.l2c.latency,
+        cfg.l2c.mshr_entries
+    );
+    println!(
+        "LLC          {} KiB/core, {}-way, {}-cycle, {} MSHRs, LRU",
+        cfg.llc.size_bytes() / 1024,
+        cfg.llc.ways,
+        cfg.llc.latency,
+        cfg.llc.mshr_entries
+    );
+    println!(
+        "SDCDir       {} entries/core, {}-way, {}-cycle, LRU",
+        sdclp.sdcdir.entries(),
+        sdclp.sdcdir.ways,
+        sdclp.sdcdir.latency
+    );
+    println!(
+        "DRAM         {} channel(s) x {} banks, tRP=tRCD=tCAS={} bus cycles, bus {} GHz",
+        cfg.dram.channels, cfg.dram.banks_per_channel, cfg.dram.t_cas, cfg.dram.bus_clock_ghz
+    );
+}

@@ -1,0 +1,25 @@
+//! Table II: graph-kernel characteristics (from the live kernel metadata).
+
+use gpbench::TextTable;
+use gpkernels::Kernel;
+
+fn main() {
+    let mut table = TextTable::new(vec![
+        "kernel",
+        "irregData ElemSz",
+        "Execution style",
+        "Use Frontier",
+        "expert-averse sids",
+    ]);
+    for k in Kernel::ALL {
+        table.row(vec![
+            k.name().to_string(),
+            k.irreg_elem_size().to_string(),
+            k.execution_style().to_string(),
+            if k.uses_frontier() { "Yes" } else { "No" }.to_string(),
+            format!("{:?}", k.expert_averse_sids()),
+        ]);
+    }
+    println!("Table II: graph kernels");
+    table.print();
+}

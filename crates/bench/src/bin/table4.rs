@@ -1,0 +1,15 @@
+//! Table IV: per-core hardware budget of the SDC+LP proposal.
+
+use sdclp::{HardwareBudget, SdcLpConfig};
+
+fn main() {
+    let budget = HardwareBudget::compute(&SdcLpConfig::table1(), 1);
+    println!("Table IV: hardware budget per core (48-bit physical addresses)");
+    print!("{}", budget.render());
+    println!();
+    println!("Paper reference: SDC 8.69 KB, LP 0.54 KB, SDCDir 0.77 KB, total ~10 KB per core.");
+    println!();
+    let four = HardwareBudget::compute(&SdcLpConfig::table1(), 4);
+    println!("At 4 cores (sharer vector grows):");
+    print!("{}", four.render());
+}

@@ -1,0 +1,69 @@
+//! Section V-B3: sensitivity of SDC+LP to the global threshold tau_glob,
+//! swept over 0..=256, on the GAP workloads *and* the regular suite (the
+//! SPEC stand-in) — verifying that tau_glob = 8 helps graph processing
+//! without hurting cache-friendly code.
+//!
+//! Paper reference: tau_glob = 8 gives +20.3% on GAP and +0.5% on SPEC.
+
+use gpbench::{pct, HarnessOpts, TextTable};
+use gpworkloads::{all_workloads, RegularKind, SystemKind};
+use sdclp::{LpConfig, SdcLpConfig};
+use simcore::geomean;
+
+fn main() {
+    let opts = HarnessOpts::parse_args();
+    let runner = opts.runner();
+    let taus = [0u64, 2, 4, 8, 16, 32, 64, 128, 256];
+
+    // GAP side.
+    let mut gap_speedups: Vec<Vec<f64>> = vec![Vec::new(); taus.len()];
+    for w in all_workloads() {
+        if !opts.selected(&w.name()) {
+            continue;
+        }
+        let base = runner.run_one(w, SystemKind::Baseline);
+        for (i, &tau) in taus.iter().enumerate() {
+            let cfg = SdcLpConfig {
+                lp: LpConfig { tau_glob: tau, ..runner.sdclp.lp },
+                ..runner.sdclp
+            };
+            let sys = Box::new(sdclp::sdclp_system(&simcore::SystemConfig::baseline(1), cfg));
+            gap_speedups[i].push(runner.run_custom(w, sys).speedup_over(&base));
+        }
+        runner.evict_trace(w);
+        eprintln!("done {w}");
+    }
+
+    // Regular suite side.
+    let mut reg_speedups: Vec<Vec<f64>> = vec![Vec::new(); taus.len()];
+    for kind in RegularKind::ALL {
+        let base = runner.run_regular_on(
+            kind,
+            Box::new(simcore::BaselineHierarchy::new(&simcore::SystemConfig::baseline(1))),
+        );
+        for (i, &tau) in taus.iter().enumerate() {
+            let cfg = SdcLpConfig {
+                lp: LpConfig { tau_glob: tau, ..runner.sdclp.lp },
+                ..runner.sdclp
+            };
+            let sys = Box::new(sdclp::sdclp_system(&simcore::SystemConfig::baseline(1), cfg));
+            let res = runner.run_regular_on(kind, sys);
+            reg_speedups[i].push(res.speedup_over(&base));
+        }
+        eprintln!("done regular {kind}");
+    }
+
+    let mut table = TextTable::new(vec!["tau_glob", "GAP geomean", "regular geomean"]);
+    for (i, &tau) in taus.iter().enumerate() {
+        table.row(vec![
+            tau.to_string(),
+            pct(geomean(&gap_speedups[i])),
+            pct(geomean(&reg_speedups[i])),
+        ]);
+    }
+
+    println!("tau_glob sweep (Section V-B3), {:?} scale", opts.scale);
+    table.print();
+    println!();
+    println!("Paper reference at tau=8: GAP +20.3%, SPEC +0.5%.");
+}

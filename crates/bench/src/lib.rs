@@ -1,0 +1,204 @@
+//! # gpbench — experiment harness shared plumbing
+//!
+//! Each paper table/figure has a binary (`cargo run --release -p gpbench
+//! --bin figN`). This library holds the shared command-line handling and
+//! text-table rendering they use.
+
+use gpgraph::SuiteScale;
+use gpworkloads::Runner;
+use simcore::Window;
+
+/// Command-line options shared by every figure binary.
+///
+/// * `--scale tiny|small|full` — suite graph scale (default `full`).
+/// * `--warmup N` / `--measure N` — window lengths in instructions.
+/// * `--quick` — shorthand for `--scale small --warmup 200000 --measure
+///   800000` (fast sanity runs).
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    pub scale: SuiteScale,
+    pub window: Window,
+    /// Restrict to workloads whose name contains this substring.
+    pub only: Option<String>,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            scale: SuiteScale::Full,
+            window: Window::new(2_000_000, 8_000_000),
+            only: None,
+        }
+    }
+}
+
+impl HarnessOpts {
+    pub fn parse_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = HarnessOpts::default();
+        let mut warmup = None;
+        let mut measure = None;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    opts.scale = SuiteScale::Small;
+                    warmup = Some(200_000);
+                    measure = Some(800_000);
+                }
+                "--scale" => {
+                    opts.scale = match it.next().as_deref() {
+                        Some("tiny") => SuiteScale::Tiny,
+                        Some("small") => SuiteScale::Small,
+                        Some("medium") => SuiteScale::Medium,
+                        Some("full") => SuiteScale::Full,
+                        other => panic!("unknown scale {other:?}"),
+                    };
+                }
+                "--warmup" => {
+                    warmup = Some(
+                        it.next().expect("--warmup needs a value").parse().expect("bad --warmup"),
+                    );
+                }
+                "--measure" => {
+                    measure = Some(
+                        it.next()
+                            .expect("--measure needs a value")
+                            .parse()
+                            .expect("bad --measure"),
+                    );
+                }
+                "--only" => {
+                    opts.only = Some(it.next().expect("--only needs a substring"));
+                }
+                other => panic!("unknown argument {other:?} (try --quick / --scale / --warmup / --measure / --only)"),
+            }
+        }
+        opts.window = Window::new(
+            warmup.unwrap_or(opts.window.warmup),
+            measure.unwrap_or(opts.window.measure),
+        );
+        opts
+    }
+
+    pub fn runner(&self) -> Runner {
+        // Persist generated graphs across harness binaries (safe to
+        // delete; regenerated deterministically on demand).
+        if std::env::var_os("GRAPH_CACHE_DIR").is_none() {
+            std::env::set_var("GRAPH_CACHE_DIR", "target/graph-cache");
+        }
+        Runner::new(self.scale, self.window)
+    }
+
+    /// Does a workload name pass the `--only` filter?
+    pub fn selected(&self, name: &str) -> bool {
+        self.only.as_deref().is_none_or(|s| name.contains(s))
+    }
+}
+
+/// Minimal fixed-width text table writer for figure/table output.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a ratio as a percent improvement ("+20.3%").
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_to_full_scale() {
+        let o = HarnessOpts::parse(Vec::<String>::new());
+        assert_eq!(o.scale, SuiteScale::Full);
+        assert_eq!(o.window.warmup, 2_000_000);
+    }
+
+    #[test]
+    fn parse_quick() {
+        let o = HarnessOpts::parse(vec!["--quick".to_string()]);
+        assert_eq!(o.scale, SuiteScale::Small);
+        assert_eq!(o.window.measure, 800_000);
+    }
+
+    #[test]
+    fn parse_explicit_window() {
+        let args: Vec<String> =
+            ["--scale", "tiny", "--warmup", "100", "--measure", "200"].map(String::from).into();
+        let o = HarnessOpts::parse(args);
+        assert_eq!(o.scale, SuiteScale::Tiny);
+        assert_eq!(o.window.warmup, 100);
+        assert_eq!(o.window.measure, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn parse_rejects_unknown() {
+        HarnessOpts::parse(vec!["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1.0"]);
+        t.row(vec!["longer", "2.25"]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(1.203), "+20.3%");
+        assert_eq!(pct(0.95), "-5.0%");
+    }
+}

@@ -1,0 +1,135 @@
+//! Hardware-budget accounting (Table IV): per-core storage cost of the
+//! SDC, the LP prediction table, and the SDCDir, assuming 48-bit physical
+//! addresses.
+
+use crate::config::SdcLpConfig;
+use simcore::block::{BLOCK_BYTES, PHYS_ADDR_BITS, BLOCK_BITS};
+
+/// One row of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetRow {
+    pub name: &'static str,
+    pub entries: usize,
+    pub bits_per_entry: u64,
+    pub total_kb: f64,
+}
+
+impl BudgetRow {
+    fn new(name: &'static str, entries: usize, bits_per_entry: u64) -> Self {
+        BudgetRow {
+            name,
+            entries,
+            bits_per_entry,
+            total_kb: (entries as u64 * bits_per_entry) as f64 / 8.0 / 1024.0,
+        }
+    }
+}
+
+/// The full per-core hardware budget.
+#[derive(Debug, Clone)]
+pub struct HardwareBudget {
+    pub rows: Vec<BudgetRow>,
+}
+
+impl HardwareBudget {
+    /// Compute the budget for a configuration and core count, using the
+    /// paper's accounting: the SDC stores 512 data bits plus a 42-bit block
+    /// tag, valid and dirty bits; each LP entry stores a PC tag, the last
+    /// block address, the 14-bit stride accumulator, and a valid bit; each
+    /// SDCDir entry stores a 42-bit tag, 6 state bits, and one sharer bit
+    /// per core.
+    pub fn compute(cfg: &SdcLpConfig, cores: usize) -> Self {
+        let block_tag_bits = u64::from(PHYS_ADDR_BITS - BLOCK_BITS); // 42
+
+        let sdc_entries = cfg.sdc.sets * cfg.sdc.ways;
+        let sdc_bits = BLOCK_BYTES * 8 /* data */ + block_tag_bits + 1 /* valid */ + 1 /* dirty */;
+
+        // Table IV charges the LP a full-width PC tag (65 bits incl. thread
+        // context) and a 58-bit address field; we reproduce that accounting.
+        let lp_entries = cfg.lp.entries;
+        let lp_bits = 65 + 58 + 14 + 1;
+
+        let dir_entries = cfg.sdcdir.entries();
+        let dir_bits = block_tag_bits + 6 + cores as u64;
+
+        HardwareBudget {
+            rows: vec![
+                BudgetRow::new("SDC", sdc_entries, sdc_bits),
+                BudgetRow::new("LP", lp_entries, lp_bits),
+                BudgetRow::new("SDCDir", dir_entries, dir_bits),
+            ],
+        }
+    }
+
+    pub fn total_kb(&self) -> f64 {
+        self.rows.iter().map(|r| r.total_kb).sum()
+    }
+
+    /// Render the budget as a Table IV-style text table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Structure  Entries  Bits/entry  Total KB\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<10} {:>7} {:>11} {:>9.2}\n",
+                r.name, r.entries, r.bits_per_entry, r.total_kb
+            ));
+        }
+        out.push_str(&format!("{:<10} {:>7} {:>11} {:>9.2}\n", "TOTAL", "", "", self.total_kb()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_sdc_budget() {
+        let b = HardwareBudget::compute(&SdcLpConfig::table1(), 1);
+        let sdc = &b.rows[0];
+        assert_eq!(sdc.entries, 128);
+        assert_eq!(sdc.bits_per_entry, 512 + 42 + 1 + 1);
+        assert!((sdc.total_kb - 8.69).abs() < 0.01, "SDC kb = {}", sdc.total_kb);
+    }
+
+    #[test]
+    fn table4_lp_budget() {
+        let b = HardwareBudget::compute(&SdcLpConfig::table1(), 1);
+        let lp = &b.rows[1];
+        assert_eq!(lp.entries, 32);
+        assert_eq!(lp.bits_per_entry, 138);
+        assert!((lp.total_kb - 0.54).abs() < 0.01, "LP kb = {}", lp.total_kb);
+    }
+
+    #[test]
+    fn table4_sdcdir_budget() {
+        let b = HardwareBudget::compute(&SdcLpConfig::table1(), 1);
+        let dir = &b.rows[2];
+        assert_eq!(dir.entries, 128);
+        assert_eq!(dir.bits_per_entry, 42 + 6 + 1);
+        assert!((dir.total_kb - 0.77).abs() < 0.01, "SDCDir kb = {}", dir.total_kb);
+    }
+
+    #[test]
+    fn table4_total_is_about_10kb() {
+        let b = HardwareBudget::compute(&SdcLpConfig::table1(), 1);
+        assert!((9.9..10.1).contains(&b.total_kb()), "total = {}", b.total_kb());
+    }
+
+    #[test]
+    fn sharer_bits_scale_with_cores() {
+        let one = HardwareBudget::compute(&SdcLpConfig::table1(), 1);
+        let four = HardwareBudget::compute(&SdcLpConfig::table1(), 4);
+        assert_eq!(four.rows[2].bits_per_entry - one.rows[2].bits_per_entry, 3);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let b = HardwareBudget::compute(&SdcLpConfig::table1(), 1);
+        let s = b.render();
+        assert!(s.contains("SDC"));
+        assert!(s.contains("LP"));
+        assert!(s.contains("SDCDir"));
+        assert!(s.contains("TOTAL"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Configuration for the SDC+LP proposal (Table I rows: SDC, LP Predictor,
+//! SDCDir) and the design-space variants of Section V-B.
+
+use serde::{Deserialize, Serialize};
+use simcore::config::{CacheConfig, PrefetcherKind, ReplacementKind};
+
+/// Large Predictor table configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LpConfig {
+    /// Total prediction-table entries.
+    pub entries: usize,
+    /// Table associativity (`entries` must be a multiple of `ways`).
+    pub ways: usize,
+    /// Global threshold tau_glob: accesses whose stride accumulator is at
+    /// least this are routed to the SDC.
+    pub tau_glob: u64,
+}
+
+impl LpConfig {
+    /// Table I default: 32 entries, 8-way, tau_glob = 8.
+    pub const fn table1() -> Self {
+        LpConfig { entries: 32, ways: 8, tau_glob: 8 }
+    }
+
+    pub const fn sets(&self) -> usize {
+        self.entries / self.ways
+    }
+
+    /// Fully-associative variant with `entries` entries (Fig. 11 sweep).
+    pub const fn fully_associative(entries: usize, tau_glob: u64) -> Self {
+        LpConfig { entries, ways: entries, tau_glob }
+    }
+}
+
+/// Side Data Cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SdcConfig {
+    pub sets: usize,
+    pub ways: usize,
+    pub latency: u64,
+    pub mshr_entries: usize,
+}
+
+impl SdcConfig {
+    /// Table I default: 8 KiB, 2-way, 1-cycle, 10 MSHRs.
+    pub const fn table1() -> Self {
+        SdcConfig { sets: 64, ways: 2, latency: 1, mshr_entries: 10 }
+    }
+
+    /// The 16 KiB design point of Fig. 10: 4-way, 3-cycle.
+    pub const fn kb16() -> Self {
+        SdcConfig { sets: 64, ways: 4, latency: 3, mshr_entries: 10 }
+    }
+
+    /// The 32 KiB design point of Fig. 10: 8-way, 4-cycle.
+    pub const fn kb32() -> Self {
+        SdcConfig { sets: 64, ways: 8, latency: 4, mshr_entries: 10 }
+    }
+
+    pub const fn size_bytes(&self) -> u64 {
+        (self.sets * self.ways * 64) as u64
+    }
+
+    /// Lower to the generic cache geometry (LRU + next-line, per Table I).
+    pub const fn as_cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            sets: self.sets,
+            ways: self.ways,
+            latency: self.latency,
+            mshr_entries: self.mshr_entries,
+            replacement: ReplacementKind::Lru,
+            prefetcher: PrefetcherKind::NextLine,
+        }
+    }
+}
+
+/// SDCDir (coherence directory extension) configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SdcDirConfig {
+    pub sets: usize,
+    pub ways: usize,
+    pub latency: u64,
+}
+
+impl SdcDirConfig {
+    /// Table I default: 128 entries per core, 8-way, 1-cycle.
+    pub const fn table1() -> Self {
+        SdcDirConfig { sets: 16, ways: 8, latency: 1 }
+    }
+
+    pub const fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+/// Full SDC+LP proposal configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SdcLpConfig {
+    pub sdc: SdcConfig,
+    pub lp: LpConfig,
+    pub sdcdir: SdcDirConfig,
+    /// Latency of the lightweight coherence probe an SDC miss sends to the
+    /// cache directory + SDCDir (core cycles). The SDCDir itself is
+    /// 1-cycle (Table I); the rest is on-chip traversal.
+    pub dir_probe_latency: u64,
+}
+
+impl SdcLpConfig {
+    /// The configuration evaluated throughout Section V.
+    pub const fn table1() -> Self {
+        SdcLpConfig {
+            sdc: SdcConfig::table1(),
+            lp: LpConfig::table1(),
+            sdcdir: SdcDirConfig::table1(),
+            dir_probe_latency: 8,
+        }
+    }
+}
+
+impl Default for SdcLpConfig {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let cfg = SdcLpConfig::table1();
+        assert_eq!(cfg.sdc.size_bytes(), 8 * 1024);
+        assert_eq!(cfg.sdc.ways, 2);
+        assert_eq!(cfg.sdc.latency, 1);
+        assert_eq!(cfg.lp.entries, 32);
+        assert_eq!(cfg.lp.ways, 8);
+        assert_eq!(cfg.lp.sets(), 4);
+        assert_eq!(cfg.lp.tau_glob, 8);
+        assert_eq!(cfg.sdcdir.entries(), 128);
+    }
+
+    #[test]
+    fn dse_sizes() {
+        assert_eq!(SdcConfig::kb16().size_bytes(), 16 * 1024);
+        assert_eq!(SdcConfig::kb32().size_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn fully_associative_lp() {
+        let lp = LpConfig::fully_associative(16, 8);
+        assert_eq!(lp.sets(), 1);
+        assert_eq!(lp.ways, 16);
+    }
+}

@@ -1,0 +1,122 @@
+//! Access routers: the component that decides, per memory access, whether
+//! to use the SDC path or the conventional hierarchy.
+//!
+//! * [`LpRouter`] — the paper's proposal: the Large Predictor decides.
+//! * [`ExpertRouter`] — the "Expert Programmer" comparison point (Fig. 13):
+//!   a static per-data-structure classification derived from offline
+//!   analysis of each workload's access patterns.
+//! * [`StaticRouter`] — route everything one way (tau-sweep endpoints and
+//!   unit testing).
+
+use crate::lp::{LargePredictor, LpStats, Route};
+use simcore::block::block_of;
+use simcore::trace::{MemRef, StructId};
+
+/// Per-access routing decision maker.
+pub trait Router: Send {
+    fn route(&mut self, r: &MemRef) -> Route;
+    /// Router-internal statistics, if it keeps any.
+    fn lp_stats(&self) -> Option<LpStats> {
+        None
+    }
+    fn reset_stats(&mut self) {}
+}
+
+/// The Large Predictor as a router (the SDC+LP system).
+#[derive(Debug)]
+pub struct LpRouter {
+    pub lp: LargePredictor,
+}
+
+impl LpRouter {
+    pub fn new(lp: LargePredictor) -> Self {
+        LpRouter { lp }
+    }
+}
+
+impl Router for LpRouter {
+    fn route(&mut self, r: &MemRef) -> Route {
+        self.lp.predict_and_train(u64::from(r.pc), block_of(r.addr))
+    }
+
+    fn lp_stats(&self) -> Option<LpStats> {
+        Some(self.lp.stats)
+    }
+
+    fn reset_stats(&mut self) {
+        self.lp.reset_stats();
+    }
+}
+
+/// Expert Programmer: data structures are statically classified as
+/// cache-averse (route to SDC) or cache-friendly from source-code and
+/// performance analysis; the classification arrives via the structure id
+/// each instrumented access carries.
+#[derive(Debug)]
+pub struct ExpertRouter {
+    averse: [bool; 256],
+}
+
+impl ExpertRouter {
+    /// `averse_sids` lists the structure ids the expert sends to the SDC.
+    pub fn new(averse_sids: &[StructId]) -> Self {
+        let mut averse = [false; 256];
+        for &sid in averse_sids {
+            averse[sid as usize] = true;
+        }
+        ExpertRouter { averse }
+    }
+}
+
+impl Router for ExpertRouter {
+    fn route(&mut self, r: &MemRef) -> Route {
+        if self.averse[r.sid as usize] {
+            Route::Sdc
+        } else {
+            Route::Hierarchy
+        }
+    }
+}
+
+/// Routes every access the same way.
+#[derive(Debug)]
+pub struct StaticRouter(pub Route);
+
+impl Router for StaticRouter {
+    fn route(&mut self, _r: &MemRef) -> Route {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LpConfig;
+
+    #[test]
+    fn expert_router_follows_sid() {
+        let mut r = ExpertRouter::new(&[3, 7]);
+        assert_eq!(r.route(&MemRef::read(1, 3, 0)), Route::Sdc);
+        assert_eq!(r.route(&MemRef::read(1, 7, 0)), Route::Sdc);
+        assert_eq!(r.route(&MemRef::read(1, 2, 0)), Route::Hierarchy);
+    }
+
+    #[test]
+    fn static_router_is_constant() {
+        let mut s = StaticRouter(Route::Sdc);
+        assert_eq!(s.route(&MemRef::read(0, 0, 0)), Route::Sdc);
+        let mut h = StaticRouter(Route::Hierarchy);
+        assert_eq!(h.route(&MemRef::write(0, 0, 0)), Route::Hierarchy);
+    }
+
+    #[test]
+    fn lp_router_learns_irregularity() {
+        let mut r = LpRouter::new(LargePredictor::new(LpConfig::table1()));
+        let mut last = Route::Hierarchy;
+        for i in 0..20u64 {
+            last = r.route(&MemRef::read(9, 0, i * 64 * 100_000));
+        }
+        assert_eq!(last, Route::Sdc);
+        assert!(r.lp_stats().unwrap().sdc_routes > 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Edge-list → CSR construction with the usual graph-benchmark hygiene:
+//! optional symmetrization, self-loop removal, neighbor sorting and
+//! deduplication (GAP's builder performs the same steps).
+
+use crate::csr::{Csr, VertexId};
+
+/// Builder options.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Add the reverse of every edge (undirected graphs).
+    pub symmetrize: bool,
+    /// Drop (v, v) edges.
+    pub remove_self_loops: bool,
+    /// Sort each neighbor list and drop duplicate edges.
+    pub sort_and_dedup: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions { symmetrize: false, remove_self_loops: true, sort_and_dedup: true }
+    }
+}
+
+/// Build a CSR from an edge list over `num_vertices` vertices.
+pub fn build_csr(num_vertices: usize, edges: &[(VertexId, VertexId)], opts: BuildOptions) -> Csr {
+    let mut degree = vec![0u64; num_vertices];
+    let keep = |u: VertexId, v: VertexId| !(opts.remove_self_loops && u == v);
+
+    for &(u, v) in edges {
+        if !keep(u, v) {
+            continue;
+        }
+        degree[u as usize] += 1;
+        if opts.symmetrize {
+            degree[v as usize] += 1;
+        }
+    }
+
+    // Prefix-sum into offsets.
+    let mut offsets = vec![0u64; num_vertices + 1];
+    for v in 0..num_vertices {
+        offsets[v + 1] = offsets[v] + degree[v];
+    }
+
+    let total = offsets[num_vertices] as usize;
+    let mut neighbors = vec![0 as VertexId; total];
+    let mut cursor = offsets[..num_vertices].to_vec();
+    for &(u, v) in edges {
+        if !keep(u, v) {
+            continue;
+        }
+        neighbors[cursor[u as usize] as usize] = v;
+        cursor[u as usize] += 1;
+        if opts.symmetrize {
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+    }
+
+    if !opts.sort_and_dedup {
+        return Csr::from_raw(offsets, neighbors);
+    }
+
+    // Sort each list and drop duplicates, compacting in place.
+    let mut out_offsets = vec![0u64; num_vertices + 1];
+    let mut out_neighbors = Vec::with_capacity(total);
+    for v in 0..num_vertices {
+        let lo = offsets[v] as usize;
+        let hi = offsets[v + 1] as usize;
+        let list = &mut neighbors[lo..hi];
+        list.sort_unstable();
+        let mut prev: Option<VertexId> = None;
+        for &n in list.iter() {
+            if prev != Some(n) {
+                out_neighbors.push(n);
+                prev = Some(n);
+            }
+        }
+        out_offsets[v + 1] = out_neighbors.len() as u64;
+    }
+    Csr::from_raw(out_offsets, out_neighbors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_fig1_graph() {
+        let edges = vec![(0, 1), (0, 2), (1, 2), (2, 0), (3, 2)];
+        let g = build_csr(4, &edges, BuildOptions::default());
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let edges = vec![(0, 1), (1, 2)];
+        let g = build_csr(3, &edges, BuildOptions { symmetrize: true, ..Default::default() });
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn self_loops_removed_by_default() {
+        let edges = vec![(0, 0), (0, 1), (1, 1)];
+        let g = build_csr(2, &edges, BuildOptions::default());
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn duplicates_removed_and_sorted() {
+        let edges = vec![(0, 3), (0, 1), (0, 3), (0, 2), (0, 1)];
+        let g = build_csr(4, &edges, BuildOptions::default());
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert!(g.is_sorted());
+    }
+
+    #[test]
+    fn no_dedup_preserves_multiplicity() {
+        let edges = vec![(0, 1), (0, 1)];
+        let g = build_csr(
+            2,
+            &edges,
+            BuildOptions { sort_and_dedup: false, ..Default::default() },
+        );
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_lists() {
+        let g = build_csr(5, &[(0, 4)], BuildOptions::default());
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.neighbors(3), &[] as &[VertexId]);
+    }
+}

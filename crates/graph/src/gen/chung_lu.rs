@@ -1,0 +1,192 @@
+//! Chung–Lu power-law generator — stands in for the crawled social/web
+//! graphs of Table III (Twitter, Friendster, Web).
+//!
+//! Endpoints are drawn with probability proportional to per-vertex weights
+//! `w_i = (i + 1)^(-theta)`, giving a power-law degree distribution whose
+//! skew is controlled by `theta`. Sampling uses a Walker alias table for
+//! O(1) draws (tens of millions of samples per graph). An optional
+//! locality knob biases a fraction of edges toward nearby vertex ids,
+//! mimicking the host-locality that crawled web graphs exhibit after
+//! URL-ordering.
+
+use crate::builder::{build_csr, BuildOptions};
+use crate::csr::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning for the Chung–Lu generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ChungLuParams {
+    /// Power-law exponent of the weight sequence (0.5–0.8 is Twitter-like).
+    pub theta: f64,
+    /// Fraction of edges rewired to land within `locality_window` of their
+    /// source (0.0 = none; web graphs are ~0.5).
+    pub locality: f64,
+    /// Window for local edges, in vertex ids.
+    pub locality_window: usize,
+}
+
+/// Walker alias table over arbitrary non-negative weights: O(n) build,
+/// O(1) sample.
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0);
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0);
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining entries are numerically ~1.0.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    #[inline]
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        let n = self.prob.len();
+        let i = rng.random_range(0..n);
+        if rng.random::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Generate a Chung–Lu graph with `n` vertices and `edge_factor * n`
+/// undirected edges.
+pub fn chung_lu(n: usize, edge_factor: usize, params: ChungLuParams, seed: u64) -> Csr {
+    let m = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-params.theta)).collect();
+    let table = AliasTable::new(&weights);
+
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = table.sample(&mut rng) as VertexId;
+        let v = if params.locality > 0.0 && rng.random::<f64>() < params.locality {
+            // Local edge: destination near the source.
+            let w = params.locality_window.max(1);
+            let delta = rng.random_range(0..w) as i64 - (w / 2) as i64;
+            let cand = u as i64 + delta;
+            cand.rem_euclid(n as i64) as VertexId
+        } else {
+            table.sample(&mut rng) as VertexId
+        };
+        edges.push((u, v));
+    }
+    build_csr(n, &edges, BuildOptions { symmetrize: true, ..Default::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    fn params() -> ChungLuParams {
+        ChungLuParams { theta: 0.6, locality: 0.0, locality_window: 0 }
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [1.0, 2.0, 4.0, 1.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u64; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f64 / draws as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "weight {i}: expected {expected}, observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_single_entry() {
+        let table = AliasTable::new(&[3.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(table.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(chung_lu(500, 8, params(), 3), chung_lu(500, 8, params(), 3));
+    }
+
+    #[test]
+    fn power_law_skew() {
+        let g = chung_lu(4096, 16, params(), 17);
+        let stats = DegreeStats::of(&g);
+        assert!(
+            stats.max as f64 > 10.0 * stats.avg,
+            "max {} vs avg {}",
+            stats.max,
+            stats.avg
+        );
+    }
+
+    #[test]
+    fn locality_moves_edges_close() {
+        let local = chung_lu(
+            4096,
+            8,
+            ChungLuParams { theta: 0.4, locality: 0.8, locality_window: 64 },
+            5,
+        );
+        let global = chung_lu(4096, 8, params(), 5);
+        let mean_dist = |g: &Csr| -> f64 {
+            let mut sum = 0.0;
+            let mut cnt = 0u64;
+            for (u, v) in g.edges() {
+                sum += (u as i64 - v as i64).unsigned_abs() as f64;
+                cnt += 1;
+            }
+            sum / cnt as f64
+        };
+        assert!(
+            mean_dist(&local) < mean_dist(&global) / 2.0,
+            "local {} vs global {}",
+            mean_dist(&local),
+            mean_dist(&global)
+        );
+    }
+
+    #[test]
+    fn valid_structure() {
+        chung_lu(256, 4, params(), 1).validate().unwrap();
+    }
+}

@@ -1,0 +1,88 @@
+//! Kronecker (R-MAT) generator — the construction behind GAP's `kron`
+//! input (and a good stand-in for heavy-tailed social graphs).
+
+use crate::builder::{build_csr, BuildOptions};
+use crate::csr::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT initiator probabilities used by Graph500/GAP: A=0.57, B=C=0.19.
+const A: f64 = 0.57;
+const B: f64 = 0.19;
+const C: f64 = 0.19;
+
+/// Generate an R-MAT graph with `2^scale` vertices and `edge_factor *
+/// 2^scale` undirected edges, deterministically from `seed`.
+pub fn kron(scale: u32, edge_factor: usize, seed: u64) -> Csr {
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0u64, 0u64);
+        for _ in 0..scale {
+            let r: f64 = rng.random();
+            let (bu, bv) = if r < A {
+                (0, 0)
+            } else if r < A + B {
+                (0, 1)
+            } else if r < A + B + C {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | bu;
+            v = (v << 1) | bv;
+        }
+        edges.push((u as VertexId, v as VertexId));
+    }
+    build_csr(n, &edges, BuildOptions { symmetrize: true, ..Default::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = kron(10, 8, 42);
+        let b = kron(10, 8, 42);
+        assert_eq!(a, b);
+        let c = kron(10, 8, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn size_is_as_requested() {
+        let g = kron(12, 8, 1);
+        assert_eq!(g.num_vertices(), 4096);
+        // Dedup/self-loop removal shaves some edges off 2 * ef * n.
+        assert!(g.num_edges() > 4096 * 8);
+        assert!(g.num_edges() <= 4096 * 16);
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = kron(13, 16, 7);
+        let stats = DegreeStats::of(&g);
+        // R-MAT: the max degree dwarfs the average (power-law-ish tail).
+        assert!(
+            stats.max as f64 > 20.0 * stats.avg,
+            "max {} vs avg {}",
+            stats.max,
+            stats.avg
+        );
+    }
+
+    #[test]
+    fn symmetric_and_valid() {
+        let g = kron(8, 4, 3);
+        g.validate().unwrap();
+        for u in 0..g.num_vertices() as VertexId {
+            for &v in g.neighbors(u) {
+                assert!(g.neighbors(v).contains(&u), "missing reverse edge {v}->{u}");
+            }
+        }
+    }
+}

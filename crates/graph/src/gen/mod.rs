@@ -1,0 +1,12 @@
+//! Synthetic graph generators reproducing the degree distributions of the
+//! paper's six input graphs (Table III) at laptop scale.
+
+mod chung_lu;
+mod kron;
+mod road;
+mod urand;
+
+pub use chung_lu::{chung_lu, AliasTable, ChungLuParams};
+pub use kron::kron;
+pub use road::road;
+pub use urand::urand;

@@ -1,0 +1,58 @@
+//! Uniform-random (Erdős–Rényi-style) generator — GAP's `urand` input.
+//! The degree distribution is tightly concentrated around the mean, the
+//! worst case for any locality-exploiting mechanism.
+
+use crate::builder::{build_csr, BuildOptions};
+use crate::csr::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a uniform random graph with `n` vertices and `edge_factor * n`
+/// undirected edges.
+pub fn urand(n: usize, edge_factor: usize, seed: u64) -> Csr {
+    let m = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = rng.random_range(0..n) as VertexId;
+        let v = rng.random_range(0..n) as VertexId;
+        edges.push((u, v));
+    }
+    build_csr(n, &edges, BuildOptions { symmetrize: true, ..Default::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(urand(1000, 8, 5), urand(1000, 8, 5));
+    }
+
+    #[test]
+    fn degrees_concentrate_near_mean() {
+        let g = urand(4096, 16, 9);
+        let stats = DegreeStats::of(&g);
+        // Binomial concentration: max degree within a few x of the mean.
+        assert!(
+            (stats.max as f64) < 4.0 * stats.avg,
+            "max {} vs avg {}",
+            stats.max,
+            stats.avg
+        );
+        assert!(stats.avg > 16.0, "avg degree {}", stats.avg);
+    }
+
+    #[test]
+    fn valid_and_symmetric() {
+        let g = urand(512, 4, 11);
+        g.validate().unwrap();
+        for u in 0..g.num_vertices() as VertexId {
+            for &v in g.neighbors(u) {
+                assert!(g.neighbors(v).contains(&u));
+            }
+        }
+    }
+}

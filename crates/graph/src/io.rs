@@ -1,0 +1,164 @@
+//! Graph serialization: a plain-text edge-list format (one `u v` pair per
+//! line, `#` comments) and a compact binary CSR format for caching the
+//! generated suite graphs between harness runs.
+
+use crate::builder::{build_csr, BuildOptions};
+use crate::csr::{Csr, VertexId};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes of the binary CSR format.
+const MAGIC: &[u8; 8] = b"GPCSRv1\0";
+
+/// Parse an edge list from a reader. Lines starting with `#` or `%` are
+/// comments; each other line is `src dst` (whitespace-separated).
+pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Vec<(VertexId, VertexId)>> {
+    let mut edges = Vec::new();
+    let reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut r = reader;
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        let l = line.trim();
+        if l.is_empty() || l.starts_with('#') || l.starts_with('%') {
+            continue;
+        }
+        let mut it = l.split_whitespace();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad line: {l:?}")));
+        };
+        let u: VertexId = a
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}: {a:?}")))?;
+        let v: VertexId = b
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}: {b:?}")))?;
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+/// Load a graph from an edge-list file.
+pub fn load_edge_list<P: AsRef<Path>>(path: P, opts: BuildOptions) -> io::Result<Csr> {
+    let edges = read_edge_list(std::fs::File::open(path)?)?;
+    let n = edges.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0);
+    Ok(build_csr(n, &edges, opts))
+}
+
+/// Write a graph as a text edge list.
+pub fn write_edge_list<W: Write>(g: &Csr, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Serialize a CSR in the compact binary format.
+pub fn write_binary<W: Write>(g: &Csr, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for &o in g.offsets() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &n in g.raw_neighbors() {
+        w.write_all(&n.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Deserialize a CSR from the compact binary format.
+pub fn read_binary<R: Read>(reader: R) -> io::Result<Csr> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let v = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let e = u64::from_le_bytes(buf8) as usize;
+
+    let mut offsets = Vec::with_capacity(v + 1);
+    for _ in 0..=v {
+        r.read_exact(&mut buf8)?;
+        offsets.push(u64::from_le_bytes(buf8));
+    }
+    let mut buf4 = [0u8; 4];
+    let mut neighbors = Vec::with_capacity(e);
+    for _ in 0..e {
+        r.read_exact(&mut buf4)?;
+        neighbors.push(VertexId::from_le_bytes(buf4));
+    }
+    let g = Csr::from_raw(offsets, neighbors);
+    Ok(g)
+}
+
+/// Save to / load from a binary file path.
+pub fn save<P: AsRef<Path>>(g: &Csr, path: P) -> io::Result<()> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::kron;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = Csr::from_raw(vec![0, 2, 3, 4, 5], vec![1, 2, 2, 0, 2]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let edges = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 0), (3, 2)]);
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blank_lines() {
+        let text = "# comment\n% matrix-market comment\n\n0 1\n 2 3 \n";
+        let edges = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("0 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("justone\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = kron(8, 4, 99);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOTCSRXXrestofdata".to_vec();
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = kron(6, 2, 1);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+}

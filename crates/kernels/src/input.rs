@@ -1,0 +1,90 @@
+//! Shared kernel input: the graph in both directions plus the lazily-built
+//! T-OPT next-use oracle.
+
+use crate::oracle::NextUseOracle;
+use gpgraph::{transpose, Csr, VertexId};
+use std::sync::{Arc, OnceLock};
+
+/// A graph prepared for kernel execution.
+pub struct KernelInput {
+    /// Outgoing-neighbor view (CSR).
+    pub csr: Arc<Csr>,
+    /// Incoming-neighbor view (CSC). Equal to `csr` for symmetric graphs.
+    pub csc: Arc<Csr>,
+    oracle: OnceLock<NextUseOracle>,
+}
+
+impl KernelInput {
+    /// For a symmetric (undirected) graph the CSC *is* the CSR.
+    pub fn from_symmetric(g: Csr) -> Self {
+        let csr = Arc::new(g);
+        KernelInput { csc: Arc::clone(&csr), csr, oracle: OnceLock::new() }
+    }
+
+    /// For a directed graph, compute the transpose.
+    pub fn from_directed(g: Csr) -> Self {
+        let csc = Arc::new(transpose(&g));
+        KernelInput { csr: Arc::new(g), csc, oracle: OnceLock::new() }
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// The T-OPT next-use oracle over the CSC sweep order (built once).
+    pub fn oracle(&self) -> &NextUseOracle {
+        self.oracle.get_or_init(|| NextUseOracle::build(&self.csc))
+    }
+
+    /// Deterministic traversal source: the highest-out-degree vertex
+    /// (guaranteed non-isolated on any graph with edges).
+    pub fn default_source(&self) -> VertexId {
+        (0..self.num_vertices() as VertexId)
+            .max_by_key(|&v| self.csr.degree(v))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgraph::{build_csr, BuildOptions};
+
+    #[test]
+    fn symmetric_shares_storage() {
+        let g = gpgraph::gen::urand(100, 4, 1);
+        let input = KernelInput::from_symmetric(g);
+        assert!(Arc::ptr_eq(&input.csr, &input.csc));
+    }
+
+    #[test]
+    fn directed_builds_transpose() {
+        let g = build_csr(3, &[(0, 1), (1, 2)], BuildOptions::default());
+        let input = KernelInput::from_directed(g);
+        assert_eq!(input.csc.neighbors(1), &[0]);
+        assert_eq!(input.csc.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn default_source_is_max_degree() {
+        let g = build_csr(
+            4,
+            &[(2, 0), (2, 1), (2, 3), (0, 1)],
+            BuildOptions { symmetrize: true, ..Default::default() },
+        );
+        let input = KernelInput::from_symmetric(g);
+        assert_eq!(input.default_source(), 2);
+    }
+
+    #[test]
+    fn oracle_is_cached() {
+        let input = KernelInput::from_symmetric(gpgraph::gen::urand(50, 2, 9));
+        let a = input.oracle() as *const _;
+        let b = input.oracle() as *const _;
+        assert_eq!(a, b);
+    }
+}

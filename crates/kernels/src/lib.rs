@@ -1,0 +1,39 @@
+//! # gpkernels — the GAP benchmark kernels, instrumented
+//!
+//! The six graph kernels of Table II (BC, BFS, CC, PR, TC, SSSP),
+//! implemented as *instrumented interpreters*: each run computes the real
+//! algorithmic result (validated against independent references in
+//! [`reference`](mod@crate::reference)) while emitting the exact memory-reference stream — one
+//! synthetic PC per static access site, one structure id per data
+//! structure, T-OPT next-use hints on the NA-order property sweeps — into
+//! any [`simcore::Tracer`] (a recording tracer, or a simulation engine
+//! directly).
+//!
+//! ```
+//! use gpkernels::{Kernel, KernelInput, run_kernel};
+//! use simcore::RecordingTracer;
+//!
+//! let input = KernelInput::from_symmetric(gpgraph::gen::kron(8, 4, 1));
+//! let mut rec = RecordingTracer::new(100_000);
+//! run_kernel(Kernel::Pr, &input, 0, &mut rec);
+//! let trace = rec.finish();
+//! assert!(trace.mem_refs() > 0);
+//! ```
+
+pub mod bc;
+pub mod bfs;
+pub mod cc;
+pub mod input;
+pub mod mem;
+pub mod mix;
+pub mod oracle;
+pub mod pr;
+pub mod reference;
+pub mod sssp;
+pub mod tc;
+pub mod workload;
+
+pub use input::KernelInput;
+pub use mem::{sid, AddressSpace, TracedArray};
+pub use oracle::NextUseOracle;
+pub use workload::{params, run_kernel, run_kernel_windowed, Kernel};

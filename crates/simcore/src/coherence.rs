@@ -1,0 +1,309 @@
+//! MESI directory coherence (Section III-C references MESI \[37\] /
+//! MOESI \[43\]): a full-map directory tracking each block's global state
+//! and sharer set, with the state machine the SDCDir extension plugs into.
+//!
+//! The timing engines keep multi-programmed mixes in disjoint address
+//! spaces (as the paper's evaluation does), so this module's role there is
+//! the *own-core* consistency the SDC needs; it is nonetheless implemented
+//! and verified as the full multi-core protocol so shared-memory workloads
+//! are supported by the substrate.
+
+use std::collections::HashMap;
+
+/// Per-block global coherence state, from the directory's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// No on-chip copy.
+    Invalid,
+    /// One or more clean copies (MESI S, or E with one sharer).
+    Shared,
+    /// Exactly one dirty copy (MESI M).
+    Modified,
+}
+
+/// What the requester must do, and to whom, before its access proceeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirAction {
+    /// Fetch from memory; no other copies exist.
+    FetchFromMemory,
+    /// A clean copy exists on-chip; source it from any sharer.
+    SourceFromSharer { sharer: usize },
+    /// The owner holds it dirty: it must write back / forward, and (for
+    /// writes) invalidate.
+    OwnerForward { owner: usize },
+}
+
+#[derive(Debug, Clone)]
+struct DirEntry {
+    state: DirState,
+    sharers: u64,
+}
+
+/// Directory statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectoryStats {
+    pub read_requests: u64,
+    pub write_requests: u64,
+    pub invalidations_sent: u64,
+    pub forwards: u64,
+}
+
+/// A full-map MESI directory.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+    pub stats: DirectoryStats,
+}
+
+impl Directory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// State of `block` (Invalid if untracked).
+    pub fn state(&self, block: u64) -> DirState {
+        self.entries.get(&block).map_or(DirState::Invalid, |e| e.state)
+    }
+
+    /// Sharer bit vector of `block`.
+    pub fn sharers(&self, block: u64) -> u64 {
+        self.entries.get(&block).map_or(0, |e| e.sharers)
+    }
+
+    fn one_sharer(sharers: u64) -> usize {
+        debug_assert_ne!(sharers, 0);
+        sharers.trailing_zeros() as usize
+    }
+
+    /// Core `core` wants to read `block`. Returns what must happen; the
+    /// directory state is updated to include the new sharer.
+    pub fn read(&mut self, block: u64, core: usize) -> DirAction {
+        self.stats.read_requests += 1;
+        let bit = 1u64 << core;
+        match self.entries.get_mut(&block) {
+            None => {
+                self.entries.insert(block, DirEntry { state: DirState::Shared, sharers: bit });
+                DirAction::FetchFromMemory
+            }
+            Some(e) => match e.state {
+                DirState::Invalid => {
+                    e.state = DirState::Shared;
+                    e.sharers = bit;
+                    DirAction::FetchFromMemory
+                }
+                DirState::Shared => {
+                    // Invariant: Shared entries always have >= 1 sharer.
+                    let src = Self::one_sharer(e.sharers);
+                    e.sharers |= bit;
+                    self.stats.forwards += 1;
+                    DirAction::SourceFromSharer { sharer: src }
+                }
+                DirState::Modified => {
+                    let owner = Self::one_sharer(e.sharers);
+                    // Owner forwards and downgrades: both become sharers.
+                    e.state = DirState::Shared;
+                    e.sharers |= bit;
+                    self.stats.forwards += 1;
+                    DirAction::OwnerForward { owner }
+                }
+            },
+        }
+    }
+
+    /// Core `core` wants to write `block`. All other copies are
+    /// invalidated; the entry becomes Modified owned by `core`.
+    /// Returns the action plus how many invalidations were sent.
+    pub fn write(&mut self, block: u64, core: usize) -> (DirAction, u32) {
+        self.stats.write_requests += 1;
+        let bit = 1u64 << core;
+        match self.entries.get_mut(&block) {
+            None => {
+                self.entries.insert(block, DirEntry { state: DirState::Modified, sharers: bit });
+                (DirAction::FetchFromMemory, 0)
+            }
+            Some(e) => {
+                let action = match e.state {
+                    DirState::Invalid => DirAction::FetchFromMemory,
+                    DirState::Shared => {
+                        if e.sharers & !bit != 0 {
+                            DirAction::SourceFromSharer {
+                                sharer: Self::one_sharer(e.sharers & !bit),
+                            }
+                        } else {
+                            // Upgrading our own clean copy.
+                            DirAction::SourceFromSharer { sharer: core }
+                        }
+                    }
+                    DirState::Modified => {
+                        let owner = Self::one_sharer(e.sharers);
+                        if owner == core {
+                            DirAction::SourceFromSharer { sharer: core }
+                        } else {
+                            self.stats.forwards += 1;
+                            DirAction::OwnerForward { owner }
+                        }
+                    }
+                };
+                let invalidated = (e.sharers & !bit).count_ones();
+                self.stats.invalidations_sent += u64::from(invalidated);
+                e.state = DirState::Modified;
+                e.sharers = bit;
+                (action, invalidated)
+            }
+        }
+    }
+
+    /// Core `core` evicts its copy of `block` (clean or dirty). The
+    /// directory drops it from the sharer set; the last leaver clears the
+    /// entry. Returns true if memory must be updated (dirty owner left).
+    pub fn evict(&mut self, block: u64, core: usize) -> bool {
+        let bit = 1u64 << core;
+        let Some(e) = self.entries.get_mut(&block) else {
+            return false;
+        };
+        let was_owner_dirty = e.state == DirState::Modified && e.sharers == bit;
+        e.sharers &= !bit;
+        if e.sharers == 0 {
+            self.entries.remove(&block);
+        } else if was_owner_dirty {
+            unreachable!("dirty block with multiple sharers");
+        }
+        was_owner_dirty
+    }
+
+    /// Protocol invariant check (test/debug aid): a Modified block has
+    /// exactly one sharer; Shared blocks have at least one; no entry has
+    /// an empty sharer set.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (&block, e) in &self.entries {
+            match e.state {
+                DirState::Modified if e.sharers.count_ones() != 1 => {
+                    return Err(format!("block {block}: Modified with {} sharers", e.sharers.count_ones()));
+                }
+                DirState::Shared if e.sharers == 0 => {
+                    return Err(format!("block {block}: Shared with no sharers"));
+                }
+                DirState::Invalid => {
+                    return Err(format!("block {block}: tracked but Invalid"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_read_fetches_from_memory() {
+        let mut d = Directory::new();
+        assert_eq!(d.read(42, 0), DirAction::FetchFromMemory);
+        assert_eq!(d.state(42), DirState::Shared);
+        assert_eq!(d.sharers(42), 0b1);
+    }
+
+    #[test]
+    fn second_reader_sources_from_first() {
+        let mut d = Directory::new();
+        d.read(42, 0);
+        assert_eq!(d.read(42, 2), DirAction::SourceFromSharer { sharer: 0 });
+        assert_eq!(d.sharers(42), 0b101);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_invalidates_all_other_sharers() {
+        let mut d = Directory::new();
+        d.read(42, 0);
+        d.read(42, 1);
+        d.read(42, 2);
+        let (_, invalidated) = d.write(42, 3);
+        assert_eq!(invalidated, 3);
+        assert_eq!(d.state(42), DirState::Modified);
+        assert_eq!(d.sharers(42), 0b1000);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn read_after_modified_downgrades_owner() {
+        let mut d = Directory::new();
+        d.write(42, 1);
+        assert_eq!(d.read(42, 0), DirAction::OwnerForward { owner: 1 });
+        assert_eq!(d.state(42), DirState::Shared);
+        assert_eq!(d.sharers(42), 0b11);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_upgrade_from_own_shared_copy_sends_no_self_invalidation() {
+        let mut d = Directory::new();
+        d.read(42, 0);
+        let (action, invalidated) = d.write(42, 0);
+        assert_eq!(action, DirAction::SourceFromSharer { sharer: 0 });
+        assert_eq!(invalidated, 0);
+        assert_eq!(d.state(42), DirState::Modified);
+    }
+
+    #[test]
+    fn write_to_remote_modified_forwards_from_owner() {
+        let mut d = Directory::new();
+        d.write(42, 2);
+        let (action, invalidated) = d.write(42, 0);
+        assert_eq!(action, DirAction::OwnerForward { owner: 2 });
+        assert_eq!(invalidated, 1);
+        assert_eq!(d.sharers(42), 0b1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_and_clears() {
+        let mut d = Directory::new();
+        d.write(42, 0);
+        assert!(d.evict(42, 0), "dirty owner's eviction must update memory");
+        assert_eq!(d.state(42), DirState::Invalid);
+        assert_eq!(d.tracked_blocks(), 0);
+    }
+
+    #[test]
+    fn clean_eviction_needs_no_writeback() {
+        let mut d = Directory::new();
+        d.read(42, 0);
+        d.read(42, 1);
+        assert!(!d.evict(42, 0));
+        assert_eq!(d.state(42), DirState::Shared);
+        assert_eq!(d.sharers(42), 0b10);
+        assert!(!d.evict(42, 1));
+        assert_eq!(d.tracked_blocks(), 0);
+    }
+
+    #[test]
+    fn random_protocol_walk_preserves_invariants() {
+        let mut d = Directory::new();
+        let mut x = 0xACE1u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let block = (x >> 8) % 64;
+            let core = ((x >> 16) % 4) as usize;
+            match x % 3 {
+                0 => {
+                    d.read(block, core);
+                }
+                1 => {
+                    d.write(block, core);
+                }
+                _ => {
+                    d.evict(block, core);
+                }
+            }
+            d.check_invariants().unwrap();
+        }
+        assert!(d.stats.read_requests > 0);
+        assert!(d.stats.invalidations_sent > 0);
+    }
+}

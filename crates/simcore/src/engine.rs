@@ -1,0 +1,281 @@
+//! Single-core simulation engine: drives a [`MemorySystem`] with an
+//! instruction stream through the ROB timing model, with warmup and
+//! measurement windows (the SimPoint-style methodology of Section IV-C).
+
+use crate::block::block_of;
+use crate::hierarchy::MemorySystem;
+use crate::rob::RobModel;
+use crate::stats::{SimResult, StrideProfile, StrideProfiler};
+use crate::trace::{CompactTrace, MemRef, Tracer};
+
+/// Warmup/measurement window lengths, in instructions.
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    pub warmup: u64,
+    pub measure: u64,
+}
+
+impl Window {
+    pub fn new(warmup: u64, measure: u64) -> Self {
+        Window { warmup, measure }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.warmup + self.measure
+    }
+}
+
+/// The engine: owns the core model and the memory system under test.
+///
+/// Implements [`Tracer`], so an instrumented kernel can stream into it
+/// directly, and also replays pre-recorded [`CompactTrace`]s (the mode the
+/// experiment harness uses so every configuration sees identical input).
+pub struct Engine<M: MemorySystem> {
+    rob: RobModel,
+    pub mem: M,
+    window: Window,
+    instrs: u64,
+    measure_start_cycle: u64,
+    in_measurement: bool,
+    profiler: Option<StrideProfiler>,
+}
+
+impl<M: MemorySystem> Engine<M> {
+    pub fn new(mem: M, width: usize, rob_entries: usize, window: Window) -> Self {
+        let mut e = Engine {
+            rob: RobModel::new(width, rob_entries),
+            mem,
+            window,
+            instrs: 0,
+            measure_start_cycle: 0,
+            in_measurement: false,
+            profiler: None,
+        };
+        if window.warmup == 0 {
+            e.begin_measurement();
+        }
+        e
+    }
+
+    /// Enable the PC-stride profiler (Fig. 3 instrumentation).
+    pub fn enable_stride_profiler(&mut self) {
+        self.profiler = Some(StrideProfiler::new());
+    }
+
+    fn begin_measurement(&mut self) {
+        self.in_measurement = true;
+        self.measure_start_cycle = self.rob.current_cycle();
+        self.mem.reset_stats();
+        if let Some(p) = &mut self.profiler {
+            *p = StrideProfiler::new();
+        }
+    }
+
+    fn note_instructions(&mut self, n: u64) {
+        let before = self.instrs;
+        self.instrs += n;
+        if !self.in_measurement && before < self.window.warmup && self.instrs >= self.window.warmup
+        {
+            self.begin_measurement();
+        }
+    }
+
+    /// Replay a recorded trace through the engine.
+    pub fn replay(&mut self, trace: &CompactTrace) {
+        for ev in &trace.events {
+            if self.done() {
+                break;
+            }
+            if ev.is_mem() {
+                self.mem(ev.as_mem_ref());
+            } else {
+                self.bubble_n(ev.addr);
+            }
+        }
+    }
+
+    fn bubble_n(&mut self, n: u64) {
+        self.rob.bubbles(n);
+        self.note_instructions(n);
+    }
+
+    /// Finish the run and produce the measurement-window result.
+    pub fn finish(mut self) -> SimResult {
+        let end = self.rob.drain();
+        let cycles = end.saturating_sub(self.measure_start_cycle).max(1);
+        let instructions = if self.in_measurement {
+            self.instrs.saturating_sub(self.window.warmup)
+        } else {
+            // The workload ended inside warmup; fall back to whole-run stats.
+            self.instrs
+        };
+        SimResult { instructions, cycles, stats: self.mem.collect_stats() }
+    }
+
+    /// Extract the stride profile (if profiling was enabled).
+    pub fn stride_profile(&self) -> Option<StrideProfile> {
+        self.profiler.as_ref().map(|p| p.profile.clone())
+    }
+
+    pub fn instructions(&self) -> u64 {
+        self.instrs
+    }
+}
+
+impl<M: MemorySystem> Tracer for Engine<M> {
+    fn mem(&mut self, r: MemRef) {
+        if self.done() {
+            return;
+        }
+        let d = self.rob.dispatch_slot();
+        let outcome = self.mem.access(&r, d);
+        // Stores retire through the write buffer: they do not block the ROB
+        // for their full memory latency.
+        let completion = if r.is_write { d + 1 } else { outcome.completion };
+        self.rob.complete_at(completion);
+        if self.in_measurement {
+            if let Some(p) = &mut self.profiler {
+                p.observe(r.pc, block_of(r.addr), outcome.served_by_dram());
+            }
+        }
+        self.note_instructions(1);
+    }
+
+    fn bubble(&mut self, n: u32) {
+        if self.done() {
+            return;
+        }
+        self.bubble_n(u64::from(n));
+    }
+
+    fn done(&self) -> bool {
+        self.instrs >= self.window.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PrefetcherKind, SystemConfig};
+    use crate::hierarchy::BaselineHierarchy;
+    use crate::trace::RecordingTracer;
+
+    fn engine(window: Window) -> Engine<BaselineHierarchy> {
+        let mut cfg = SystemConfig::baseline(1);
+        cfg.l1d.prefetcher = PrefetcherKind::None;
+        cfg.l2c.prefetcher = PrefetcherKind::None;
+        Engine::new(BaselineHierarchy::new(&cfg), cfg.core.width, cfg.core.rob_entries, window)
+    }
+
+    #[test]
+    fn pure_bubbles_run_at_width_ipc() {
+        let mut e = engine(Window::new(0, 100_000));
+        e.bubble_n(100_000);
+        let r = e.finish();
+        assert!((r.ipc() - 4.0).abs() < 0.2, "ipc = {}", r.ipc());
+    }
+
+    #[test]
+    fn hot_loop_is_fast_cold_scan_is_slow() {
+        // Same instruction count; random large-footprint scan must be slower.
+        let mut hot = engine(Window::new(0, 40_000));
+        for i in 0..10_000u64 {
+            hot.load(1, 0, (i % 16) * 64);
+            hot.bubble(3);
+        }
+        let hot_r = hot.finish();
+
+        let mut cold = engine(Window::new(0, 40_000));
+        for i in 0..10_000u64 {
+            // Large-stride pattern touching ~10k distinct blocks.
+            cold.load(1, 0, (i * 7919) % 1_000_000 * 4096);
+            cold.bubble(3);
+        }
+        let cold_r = cold.finish();
+        assert!(
+            cold_r.cycles > 3 * hot_r.cycles,
+            "cold {} vs hot {}",
+            cold_r.cycles,
+            hot_r.cycles
+        );
+    }
+
+    #[test]
+    fn warmup_stats_are_discarded() {
+        let mut e = engine(Window::new(1000, 1000));
+        // All misses happen in warmup... (stride of 5 blocks spreads the
+        // 400 distinct blocks across the 64 L1 sets).
+        for i in 0..400u64 {
+            e.load(1, 0, i * 320);
+        }
+        e.bubble(600); // finish warmup
+        assert_eq!(e.instructions(), 1000);
+        // ...measurement re-touches the same blocks: hits only.
+        for i in 0..400u64 {
+            e.load(1, 0, i * 320);
+        }
+        // L1 (512 lines) holds most of the 400 distinct blocks.
+        let r = e.finish();
+        assert!(r.l1d_mpki() < 100.0, "l1d mpki = {}", r.l1d_mpki());
+        // Only 400 of the 1000 measurement instructions were issued before
+        // the workload ended; finish() reports what actually ran.
+        assert_eq!(r.instructions, 400);
+    }
+
+    #[test]
+    fn replay_equals_live_streaming() {
+        let mut rec = RecordingTracer::new(10_000);
+        let mut i = 0u64;
+        while !rec.done() {
+            rec.load(1, 0, (i * 12345) % 100_000 * 64);
+            rec.bubble(2);
+            i += 1;
+        }
+        let trace = rec.finish();
+
+        let mut live = engine(Window::new(0, 10_000));
+        let mut j = 0u64;
+        while !live.done() {
+            live.load(1, 0, (j * 12345) % 100_000 * 64);
+            live.bubble(2);
+            j += 1;
+        }
+        let live_r = live.finish();
+
+        let mut rep = engine(Window::new(0, 10_000));
+        rep.replay(&trace);
+        let rep_r = rep.finish();
+
+        assert_eq!(live_r.cycles, rep_r.cycles);
+        assert_eq!(live_r.stats.l1d.misses, rep_r.stats.l1d.misses);
+    }
+
+    #[test]
+    fn stride_profiler_collects_during_measurement() {
+        let mut e = engine(Window::new(0, 1000));
+        e.enable_stride_profiler();
+        for i in 0..100u64 {
+            e.load(1, 0, i * 64); // stride-1 blocks
+        }
+        let profile = e.stride_profile().unwrap();
+        assert!(profile.accesses[1] > 50);
+    }
+
+    #[test]
+    fn determinism_same_input_same_cycles() {
+        let run = || {
+            let mut e = engine(Window::new(100, 5000));
+            let mut i = 0u64;
+            while !e.done() {
+                e.load(2, 1, (i * 31) % 5000 * 64);
+                e.bubble(1);
+                i += 1;
+            }
+            e.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.stats.llc.misses, b.stats.llc.misses);
+    }
+}

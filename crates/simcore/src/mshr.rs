@@ -1,0 +1,172 @@
+//! Miss Status Holding Register (MSHR) file, timestamp-based.
+//!
+//! The simulator is scoreboard-driven rather than event-driven: an MSHR
+//! entry records the cycle its miss completes. Acquiring a slot when the
+//! file is full delays the new miss until the earliest outstanding one
+//! retires, which is how limited MSHRs throttle memory-level parallelism.
+
+/// Outcome of asking the MSHR file for a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A miss to the same block is already outstanding; the new request
+    /// merges and completes at the recorded cycle.
+    Merged { done: u64 },
+    /// A slot was granted; the miss may start at `start` (>= now).
+    Granted { start: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    block: u64,
+    done: u64,
+}
+
+/// A fixed-capacity MSHR file.
+#[derive(Debug)]
+pub struct MshrFile {
+    entries: Vec<Entry>,
+    capacity: usize,
+    /// Total same-block merges observed.
+    pub merges: u64,
+    /// Total cycles requests were delayed waiting for a free slot.
+    pub stall_cycles: u64,
+}
+
+impl MshrFile {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            merges: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Outstanding (not yet completed at `now`) entries.
+    pub fn outstanding(&self, now: u64) -> usize {
+        self.entries.iter().filter(|e| e.done > now).count()
+    }
+
+    /// Is there a free slot at `now`? Prefetchers must check this before
+    /// issuing: a prefetch needs an MSHR like any other miss and is
+    /// dropped when the file is demand-saturated.
+    pub fn has_free(&self, now: u64) -> bool {
+        self.outstanding(now) < self.capacity
+    }
+
+    /// Non-blocking acquire for prefetches: returns false (drop the
+    /// prefetch) when the file is full or the block is already in flight.
+    /// On success the caller must [`MshrFile::commit`] the completion so
+    /// the slot stays occupied — the occupancy is what throttles
+    /// prefetching under demand pressure.
+    pub fn try_acquire(&mut self, block: u64, now: u64) -> bool {
+        self.purge(now);
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        if self.entries.iter().any(|e| e.block == block) {
+            return false;
+        }
+        true
+    }
+
+    fn purge(&mut self, now: u64) {
+        self.entries.retain(|e| e.done > now);
+    }
+
+    /// Request a slot for a miss to `block` issued at `now`.
+    pub fn acquire(&mut self, block: u64, now: u64) -> MshrOutcome {
+        self.purge(now);
+        if let Some(e) = self.entries.iter().find(|e| e.block == block) {
+            self.merges += 1;
+            return MshrOutcome::Merged { done: e.done };
+        }
+        if self.entries.len() < self.capacity {
+            return MshrOutcome::Granted { start: now };
+        }
+        // Full: wait for the earliest completion, then reuse that slot.
+        let (idx, _) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.done)
+            .expect("full MSHR file is non-empty");
+        let start = self.entries[idx].done;
+        self.entries.swap_remove(idx);
+        self.stall_cycles += start - now;
+        MshrOutcome::Granted { start }
+    }
+
+    /// Record the completion cycle for a granted miss.
+    pub fn commit(&mut self, block: u64, done: u64) {
+        debug_assert!(self.entries.len() < self.capacity);
+        self.entries.push(Entry { block, done });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_up_to_capacity() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.acquire(1, 0), MshrOutcome::Granted { start: 0 });
+        m.commit(1, 100);
+        assert_eq!(m.acquire(2, 0), MshrOutcome::Granted { start: 0 });
+        m.commit(2, 150);
+        assert_eq!(m.outstanding(0), 2);
+    }
+
+    #[test]
+    fn same_block_merges() {
+        let mut m = MshrFile::new(2);
+        m.acquire(7, 0);
+        m.commit(7, 99);
+        assert_eq!(m.acquire(7, 10), MshrOutcome::Merged { done: 99 });
+        assert_eq!(m.merges, 1);
+    }
+
+    #[test]
+    fn full_file_delays_to_earliest_completion() {
+        let mut m = MshrFile::new(2);
+        m.acquire(1, 0);
+        m.commit(1, 100);
+        m.acquire(2, 0);
+        m.commit(2, 50);
+        // Full at cycle 10; earliest completion is 50.
+        assert_eq!(m.acquire(3, 10), MshrOutcome::Granted { start: 50 });
+        assert_eq!(m.stall_cycles, 40);
+    }
+
+    #[test]
+    fn completed_entries_free_slots() {
+        let mut m = MshrFile::new(1);
+        m.acquire(1, 0);
+        m.commit(1, 20);
+        // At cycle 30 the entry has completed; a new miss starts immediately.
+        assert_eq!(m.acquire(2, 30), MshrOutcome::Granted { start: 30 });
+        assert_eq!(m.stall_cycles, 0);
+    }
+
+    #[test]
+    fn completed_entry_does_not_merge() {
+        let mut m = MshrFile::new(2);
+        m.acquire(5, 0);
+        m.commit(5, 20);
+        // Same block after completion is a fresh miss, not a merge.
+        assert_eq!(m.acquire(5, 25), MshrOutcome::Granted { start: 25 });
+        assert_eq!(m.merges, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Multi-core simulation engine: N cores with private memory sides sharing
+//! one LLC + DRAM backend, interleaved on a common timeline (Section IV-D
+//! methodology).
+//!
+//! Cores replay recorded traces. Simulation advances the core with the
+//! smallest local cycle so shared-resource contention (LLC capacity, DRAM
+//! banks and bus) is ordered consistently. A core that finishes its
+//! measurement window keeps replaying its trace — still generating
+//! contention — until every core has finished, matching the standard
+//! multi-programmed methodology.
+
+use crate::hierarchy::{CoreMemory, SharedBackend};
+use crate::rob::RobModel;
+use crate::stats::SimResult;
+use crate::trace::CompactTrace;
+
+/// Per-core warmup/measure window (instructions).
+pub use crate::engine::Window;
+
+struct CoreState {
+    rob: RobModel,
+    instrs: u64,
+    event_idx: usize,
+    measuring: bool,
+    measure_start_cycle: u64,
+    finished: bool,
+    result_cycles: u64,
+    result_instrs: u64,
+}
+
+/// The multi-core engine.
+pub struct MulticoreEngine<C: CoreMemory> {
+    mems: Vec<C>,
+    backend: SharedBackend,
+    window: Window,
+}
+
+impl<C: CoreMemory> MulticoreEngine<C> {
+    pub fn new(mems: Vec<C>, backend: SharedBackend, window: Window) -> Self {
+        assert!(!mems.is_empty());
+        MulticoreEngine { mems, backend, window }
+    }
+
+    /// Replay one trace per core to completion; returns one result per core.
+    ///
+    /// Traces shorter than the window wrap around.
+    pub fn run(self, traces: &[&CompactTrace], width: usize, rob_entries: usize) -> Vec<SimResult> {
+        let offsets = vec![0u64; traces.len()];
+        self.run_with_offsets(traces, &offsets, width, rob_entries)
+    }
+
+    /// Like [`MulticoreEngine::run`], but adds `offsets[c]` to every
+    /// address of core `c`'s trace — how one recorded trace is replayed on
+    /// several cores at once with disjoint address spaces (the paper's
+    /// multi-programmed mixes).
+    pub fn run_with_offsets(
+        mut self,
+        traces: &[&CompactTrace],
+        offsets: &[u64],
+        width: usize,
+        rob_entries: usize,
+    ) -> Vec<SimResult> {
+        assert_eq!(traces.len(), self.mems.len());
+        assert_eq!(offsets.len(), self.mems.len());
+        assert!(traces.iter().all(|t| !t.is_empty()), "cannot replay an empty trace");
+
+        let n = self.mems.len();
+        let mut cores: Vec<CoreState> = (0..n)
+            .map(|_| CoreState {
+                rob: RobModel::new(width, rob_entries),
+                instrs: 0,
+                event_idx: 0,
+                measuring: self.window.warmup == 0,
+                measure_start_cycle: 0,
+                finished: false,
+                result_cycles: 0,
+                result_instrs: 0,
+            })
+            .collect();
+        // Advance the unfinished core with the smallest local cycle.
+        while let Some(cid) = (0..n)
+            .filter(|&i| !cores[i].finished)
+            .min_by_key(|&i| cores[i].rob.current_cycle())
+        {
+            let core = &mut cores[cid];
+            let trace = traces[cid];
+            let ev = trace.events[core.event_idx];
+            core.event_idx = (core.event_idx + 1) % trace.events.len();
+
+            let before = core.instrs;
+            if ev.is_mem() {
+                let mut r = ev.as_mem_ref();
+                r.addr += offsets[cid];
+                let d = core.rob.dispatch_slot();
+                let out = self.mems[cid].access(&r, d, &mut self.backend);
+                let completion = if r.is_write { d + 1 } else { out.completion };
+                core.rob.complete_at(completion);
+                core.instrs += 1;
+            } else {
+                core.rob.bubbles(ev.addr);
+                core.instrs += ev.addr;
+            }
+
+            // Warmup boundary: reset this core's private stats.
+            if !core.measuring && before < self.window.warmup && core.instrs >= self.window.warmup
+            {
+                core.measuring = true;
+                core.measure_start_cycle = core.rob.current_cycle();
+                self.mems[cid].reset_stats();
+            }
+
+            // Measurement complete for this core?
+            if !core.finished && core.instrs >= self.window.total() {
+                core.finished = true;
+                let end = core.rob.drain();
+                core.result_cycles = end.saturating_sub(core.measure_start_cycle).max(1);
+                core.result_instrs = core.instrs - self.window.warmup.min(core.instrs);
+            }
+        }
+
+        cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| SimResult {
+                instructions: c.result_instrs,
+                cycles: c.result_cycles,
+                stats: self.mems[i].collect_core_stats(),
+            })
+            .collect()
+    }
+}
+
+/// Weighted speedup of a mix: sum over threads of
+/// `IPC_shared / IPC_single`, as defined in Section IV-D.
+pub fn weighted_ipc(shared: &[SimResult], single: &[SimResult]) -> f64 {
+    assert_eq!(shared.len(), single.len());
+    shared
+        .iter()
+        .zip(single)
+        .map(|(sh, si)| {
+            let denom = si.ipc();
+            if denom <= 0.0 {
+                0.0
+            } else {
+                sh.ipc() / denom
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PrefetcherKind, SystemConfig};
+    use crate::hierarchy::CoreSide;
+    use crate::trace::{RecordingTracer, Tracer};
+
+    fn make_trace(seed: u64, instrs: u64, footprint_blocks: u64) -> CompactTrace {
+        let mut rec = RecordingTracer::new(instrs);
+        let mut x = seed;
+        while !rec.done() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rec.load(1, 0, (x % footprint_blocks) * 64);
+            rec.bubble(2);
+        }
+        rec.finish()
+    }
+
+    fn cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::baseline(4);
+        cfg.l1d.prefetcher = PrefetcherKind::None;
+        cfg.l2c.prefetcher = PrefetcherKind::None;
+        cfg
+    }
+
+    #[test]
+    fn four_cores_all_produce_results() {
+        let cfg = cfg();
+        let traces: Vec<CompactTrace> =
+            (0..4).map(|i| make_trace(i + 1, 20_000, 100_000)).collect();
+        let refs: Vec<&CompactTrace> = traces.iter().collect();
+        let mems: Vec<CoreSide> = (0..4).map(|_| CoreSide::new(&cfg)).collect();
+        let engine = MulticoreEngine::new(mems, SharedBackend::new(&cfg), Window::new(2000, 18_000));
+        let results = engine.run(&refs, 4, 224);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert!(r.cycles > 0);
+            assert!(r.instructions > 0);
+            assert!(r.ipc() > 0.0);
+        }
+    }
+
+    #[test]
+    fn shared_run_is_slower_than_isolated() {
+        let cfg = cfg();
+        // DRAM-heavy trace: contention must hurt.
+        let traces: Vec<CompactTrace> =
+            (0..4).map(|i| make_trace(i + 77, 30_000, 10_000_000)).collect();
+        let refs: Vec<&CompactTrace> = traces.iter().collect();
+
+        let mems: Vec<CoreSide> = (0..4).map(|_| CoreSide::new(&cfg)).collect();
+        let shared = MulticoreEngine::new(mems, SharedBackend::new(&cfg), Window::new(0, 30_000))
+            .run(&refs, 4, 224);
+
+        // Isolated: each trace alone on the same machine.
+        let mut singles = Vec::new();
+        for t in &traces {
+            let mems = vec![CoreSide::new(&cfg)];
+            let r = MulticoreEngine::new(mems, SharedBackend::new(&cfg), Window::new(0, 30_000))
+                .run(&[t], 4, 224);
+            singles.push(r.into_iter().next().unwrap());
+        }
+
+        let ws = weighted_ipc(&shared, &singles);
+        assert!(ws <= 4.0 + 1e-9, "weighted IPC cannot exceed core count, got {ws}");
+        assert!(ws > 0.5, "weighted IPC suspiciously low: {ws}");
+        for (sh, si) in shared.iter().zip(&singles) {
+            assert!(
+                sh.ipc() <= si.ipc() * 1.05,
+                "shared {} vs single {}",
+                sh.ipc(),
+                si.ipc()
+            );
+        }
+    }
+
+    #[test]
+    fn short_trace_wraps_around() {
+        let cfg = cfg();
+        let trace = make_trace(5, 1000, 1000);
+        let mems = vec![CoreSide::new(&cfg)];
+        let results = MulticoreEngine::new(mems, SharedBackend::new(&cfg), Window::new(0, 5000))
+            .run(&[&trace], 4, 224);
+        assert!(results[0].instructions >= 5000);
+    }
+
+    #[test]
+    fn weighted_ipc_of_identical_runs_is_core_count() {
+        let r = SimResult { instructions: 1000, cycles: 500, ..Default::default() };
+        let shared = vec![r.clone(), r.clone()];
+        let single = vec![r.clone(), r.clone()];
+        assert!((weighted_ipc(&shared, &single) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,51 @@
+//! Hardware prefetchers (Table I: next-line at the L1D and SDC, SPP at the
+//! L2C).
+
+mod next_line;
+mod spp;
+mod stride;
+
+pub use next_line::NextLine;
+pub use stride::StridePrefetcher;
+pub use spp::{Spp, SppConfig};
+
+use crate::config::PrefetcherKind;
+
+/// A prefetcher observes the demand stream at its cache level and proposes
+/// block addresses to fill.
+pub trait Prefetcher: Send {
+    /// Called on every demand access (`pc`, `block`); pushes candidate
+    /// prefetch block addresses into `out`.
+    fn on_access(&mut self, pc: u16, block: u64, hit: bool, out: &mut Vec<u64>);
+}
+
+/// A prefetcher that never prefetches.
+#[derive(Debug, Default)]
+pub struct NoPrefetch;
+
+impl Prefetcher for NoPrefetch {
+    fn on_access(&mut self, _pc: u16, _block: u64, _hit: bool, _out: &mut Vec<u64>) {}
+}
+
+/// Construct a boxed prefetcher for a config selector.
+pub fn make_prefetcher(kind: PrefetcherKind) -> Box<dyn Prefetcher> {
+    match kind {
+        PrefetcherKind::None => Box::new(NoPrefetch),
+        PrefetcherKind::NextLine => Box::new(NextLine::new()),
+        PrefetcherKind::Spp => Box::new(Spp::new(SppConfig::default())),
+        PrefetcherKind::Stride => Box::new(StridePrefetcher::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_prefetch_stays_silent() {
+        let mut p = NoPrefetch;
+        let mut out = Vec::new();
+        p.on_access(0, 42, false, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Least-recently-used replacement (Table I policy for every cache level,
+//! the LP prediction table, and the SDCDir).
+
+use super::{ReplCtx, ReplacementPolicy};
+
+/// Timestamp-based true LRU.
+#[derive(Debug)]
+pub struct Lru {
+    ways: usize,
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl Lru {
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Lru { ways, stamps: vec![0; sets * ways], clock: 0 }
+    }
+
+    #[inline]
+    fn touch(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        self.stamps[set * self.ways + way] = self.clock;
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn on_hit(&mut self, set: usize, way: usize, _ctx: ReplCtx) {
+        self.touch(set, way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _ctx: ReplCtx) {
+        self.touch(set, way);
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..self.ways {
+            let s = self.stamps[base + w];
+            if s < oldest {
+                oldest = s;
+                victim = w;
+            }
+        }
+        victim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recent() {
+        let mut lru = Lru::new(1, 4);
+        for w in 0..4 {
+            lru.on_fill(0, w, ReplCtx::NONE);
+        }
+        lru.on_hit(0, 0, ReplCtx::NONE); // way 0 becomes MRU
+        assert_eq!(lru.victim(0), 1);
+        lru.on_hit(0, 1, ReplCtx::NONE);
+        assert_eq!(lru.victim(0), 2);
+    }
+
+    #[test]
+    fn mru_never_victim() {
+        let mut lru = Lru::new(2, 8);
+        for w in 0..8 {
+            lru.on_fill(1, w, ReplCtx::NONE);
+        }
+        for hit in [3usize, 7, 0, 5] {
+            lru.on_hit(1, hit, ReplCtx::NONE);
+            assert_ne!(lru.victim(1), hit);
+        }
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut lru = Lru::new(2, 2);
+        lru.on_fill(0, 0, ReplCtx::NONE);
+        lru.on_fill(0, 1, ReplCtx::NONE);
+        lru.on_fill(1, 1, ReplCtx::NONE);
+        lru.on_fill(1, 0, ReplCtx::NONE);
+        assert_eq!(lru.victim(0), 0);
+        assert_eq!(lru.victim(1), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Cache replacement policies.
+//!
+//! Policies own their per-line metadata and are driven by the cache through
+//! three hooks: `on_hit`, `on_fill`, and `victim`.
+
+mod lru;
+mod srrip;
+mod topt;
+
+pub use lru::Lru;
+pub use srrip::Srrip;
+pub use topt::{TOpt, TOPT_DEFAULT_DISTANCE};
+
+use crate::config::ReplacementKind;
+
+/// Per-access context handed to replacement hooks.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplCtx {
+    /// Oracle next-use position for this block (`u32::MAX` = no hint).
+    pub next_use: u32,
+    /// Current global access position at this cache.
+    pub pos: u32,
+    /// Data-structure id of the access.
+    pub sid: u8,
+}
+
+impl ReplCtx {
+    pub const NONE: ReplCtx = ReplCtx { next_use: u32::MAX, pos: 0, sid: 0 };
+}
+
+/// Replacement policy interface.
+pub trait ReplacementPolicy: Send {
+    /// A demand access hit `way` of `set`.
+    fn on_hit(&mut self, set: usize, way: usize, ctx: ReplCtx);
+    /// A line was filled into `way` of `set`.
+    fn on_fill(&mut self, set: usize, way: usize, ctx: ReplCtx);
+    /// Choose a victim way in `set` (all ways are valid when called).
+    fn victim(&mut self, set: usize) -> usize;
+}
+
+/// Construct a boxed policy for the given kind and geometry.
+pub fn make_policy(kind: ReplacementKind, sets: usize, ways: usize) -> Box<dyn ReplacementPolicy> {
+    match kind {
+        ReplacementKind::Lru => Box::new(Lru::new(sets, ways)),
+        ReplacementKind::Srrip => Box::new(Srrip::new(sets, ways)),
+        ReplacementKind::TOpt => Box::new(TOpt::new(sets, ways)),
+    }
+}

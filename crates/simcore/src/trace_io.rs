@@ -1,0 +1,139 @@
+//! On-disk format for recorded traces, so the ChampSim-style record-once/
+//! replay-everywhere methodology can also span harness invocations.
+//!
+//! Layout: an 8-byte magic, the instruction count, the event count, then
+//! the packed 16-byte events (all little-endian).
+
+use crate::trace::{CompactTrace, TraceEvent};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"GPTRCv1\0";
+
+/// Serialize a trace.
+pub fn write_trace<W: Write>(trace: &CompactTrace, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&trace.instructions.to_le_bytes())?;
+    w.write_all(&(trace.events.len() as u64).to_le_bytes())?;
+    for e in &trace.events {
+        w.write_all(&e.addr.to_le_bytes())?;
+        w.write_all(&e.next_use.to_le_bytes())?;
+        w.write_all(&e.pc.to_le_bytes())?;
+        w.write_all(&[e.sid, e.flags])?;
+    }
+    w.flush()
+}
+
+/// Deserialize a trace.
+pub fn read_trace<R: Read>(reader: R) -> io::Result<CompactTrace> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let instructions = u64::from_le_bytes(b8);
+    r.read_exact(&mut b8)?;
+    let count = u64::from_le_bytes(b8) as usize;
+
+    let mut events = Vec::with_capacity(count);
+    let mut rec = [0u8; 16];
+    for _ in 0..count {
+        r.read_exact(&mut rec)?;
+        events.push(TraceEvent {
+            addr: u64::from_le_bytes(rec[0..8].try_into().unwrap()),
+            next_use: u32::from_le_bytes(rec[8..12].try_into().unwrap()),
+            pc: u16::from_le_bytes(rec[12..14].try_into().unwrap()),
+            sid: rec[14],
+            flags: rec[15],
+        });
+    }
+    let trace = CompactTrace { events, instructions };
+    validate(&trace)?;
+    Ok(trace)
+}
+
+fn validate(trace: &CompactTrace) -> io::Result<()> {
+    let counted: u64 = trace.events.iter().map(|e| e.instr_count()).sum();
+    if counted != trace.instructions {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("trace header says {} instructions, events sum to {counted}", trace.instructions),
+        ));
+    }
+    Ok(())
+}
+
+/// Save to / load from a file path.
+pub fn save<P: AsRef<Path>>(trace: &CompactTrace, path: P) -> io::Result<()> {
+    write_trace(trace, std::fs::File::create(path)?)
+}
+
+pub fn load<P: AsRef<Path>>(path: P) -> io::Result<CompactTrace> {
+    read_trace(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{MemRef, RecordingTracer, Tracer};
+
+    fn sample_trace() -> CompactTrace {
+        let mut rec = RecordingTracer::new(10_000);
+        let mut x = 9u64;
+        while !rec.done() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rec.mem(MemRef::read((x % 100) as u16, (x % 8) as u8, (x >> 20) & 0xFFFFFFC0));
+            rec.bubble((x % 7) as u32 + 1);
+        }
+        rec.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(trace.instructions, back.instructions);
+        assert_eq!(trace.events, back.events);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), &mut buf).unwrap();
+        buf[0] ^= 0xFF;
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 7);
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_instruction_count() {
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), &mut buf).unwrap();
+        // Corrupt the instruction-count header field.
+        buf[8] ^= 0x01;
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = CompactTrace::default();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.instructions, 0);
+    }
+}

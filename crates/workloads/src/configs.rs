@@ -1,0 +1,164 @@
+//! The seven evaluated systems (Section IV-E): Baseline, SDC+LP, T-OPT,
+//! Distill Cache, L1D 40KB ISO, 2xLLC, and Expert Programmer.
+
+use gpkernels::Kernel;
+use sdclp::{expert_system, sdclp_system, ExpertCore, SdcLpConfig, SdcLpCore};
+use simcore::hierarchy::{CoreMemory, CoreSide, MemorySystem, SharedBackend};
+use simcore::SystemConfig;
+
+/// Which system design a run simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SystemKind {
+    /// Conventional hierarchy (Table I).
+    Baseline,
+    /// The paper's proposal.
+    SdcLp,
+    /// Transpose-based OPT replacement at the LLC.
+    TOpt,
+    /// Line Distillation LLC.
+    Distill,
+    /// L1D grown by the SDC's 8 KiB budget (8 -> 10 ways).
+    L1d40kIso,
+    /// LLC sets doubled.
+    DoubleLlc,
+    /// SDC with static per-data-structure routing.
+    Expert,
+}
+
+impl SystemKind {
+    /// The Fig. 7 comparison set (single-core headline experiment).
+    pub const FIG7: [SystemKind; 6] = [
+        SystemKind::Baseline,
+        SystemKind::L1d40kIso,
+        SystemKind::Distill,
+        SystemKind::TOpt,
+        SystemKind::DoubleLlc,
+        SystemKind::SdcLp,
+    ];
+
+    pub const ALL: [SystemKind; 7] = [
+        SystemKind::Baseline,
+        SystemKind::SdcLp,
+        SystemKind::TOpt,
+        SystemKind::Distill,
+        SystemKind::L1d40kIso,
+        SystemKind::DoubleLlc,
+        SystemKind::Expert,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::Baseline => "Baseline",
+            SystemKind::SdcLp => "SDC+LP",
+            SystemKind::TOpt => "T-OPT",
+            SystemKind::Distill => "Distill",
+            SystemKind::L1d40kIso => "L1D 40KB ISO",
+            SystemKind::DoubleLlc => "2xLLC",
+            SystemKind::Expert => "Expert Programmer",
+        }
+    }
+
+    /// The underlying Table I configuration for this design.
+    pub fn system_config(&self, cores: usize) -> SystemConfig {
+        match self {
+            SystemKind::TOpt => SystemConfig::topt(cores),
+            SystemKind::L1d40kIso => SystemConfig::l1d_40k_iso(cores),
+            SystemKind::DoubleLlc => SystemConfig::double_llc(cores),
+            _ => SystemConfig::baseline(cores),
+        }
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Build a single-core memory system of the given kind. `kernel` is needed
+/// by the Expert Programmer design (its static classification is
+/// per-workload); `sdclp` parameterizes the SDC+LP design points.
+pub fn build_system(
+    kind: SystemKind,
+    kernel: Kernel,
+    sdclp: &SdcLpConfig,
+) -> Box<dyn MemorySystem + Send> {
+    let cfg = kind.system_config(1);
+    match kind {
+        SystemKind::SdcLp => Box::new(sdclp_system(&cfg, *sdclp)),
+        SystemKind::Expert => Box::new(expert_system(&cfg, *sdclp, kernel.expert_averse_sids())),
+        SystemKind::Distill => Box::new(simcore::BaselineHierarchy::new_distill(&cfg)),
+        _ => Box::new(simcore::BaselineHierarchy::new(&cfg)),
+    }
+}
+
+/// Build per-core memory sides plus the shared backend. `machine_cores`
+/// sizes the shared LLC/DRAM (Table I scales them per core); `kernels`
+/// lists the *active* cores — fewer than `machine_cores` when measuring a
+/// thread's isolated IPC on the same machine (Section IV-D).
+pub fn build_multicore(
+    kind: SystemKind,
+    kernels: &[Kernel],
+    machine_cores: usize,
+    sdclp: &SdcLpConfig,
+) -> (Vec<Box<dyn CoreMemory + Send>>, SharedBackend) {
+    assert!(kernels.len() <= machine_cores);
+    let cfg = kind.system_config(machine_cores);
+    let backend = match kind {
+        SystemKind::Distill => SharedBackend::new_distill(&cfg),
+        _ => SharedBackend::new(&cfg),
+    };
+    let cores: Vec<Box<dyn CoreMemory + Send>> = kernels
+        .iter()
+        .enumerate()
+        .map(|(i, k)| -> Box<dyn CoreMemory + Send> {
+            match kind {
+                SystemKind::SdcLp => Box::new(SdcLpCore::new_lp(&cfg, *sdclp, i)),
+                SystemKind::Expert => {
+                    Box::new(ExpertCore::new_expert(&cfg, *sdclp, k.expert_averse_sids(), i))
+                }
+                _ => Box::new(CoreSide::new(&cfg)),
+            }
+        })
+        .collect();
+    (cores, backend)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::trace::MemRef;
+
+    #[test]
+    fn every_kind_builds_and_serves() {
+        for kind in SystemKind::ALL {
+            let mut sys = build_system(kind, Kernel::Pr, &SdcLpConfig::table1());
+            let out = sys.access(&MemRef::read(1, 3, 0x10000), 0);
+            assert!(out.completion > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn multicore_builds_for_all_kinds() {
+        let kernels = [Kernel::Pr, Kernel::Cc, Kernel::Bfs, Kernel::Tc];
+        for kind in SystemKind::ALL {
+            let (cores, backend) = build_multicore(kind, &kernels, 4, &SdcLpConfig::table1());
+            assert_eq!(cores.len(), 4, "{kind}");
+            drop(backend);
+        }
+    }
+
+    #[test]
+    fn config_variants_differ_from_baseline() {
+        let base = SystemKind::Baseline.system_config(1);
+        assert!(SystemKind::DoubleLlc.system_config(1).llc.sets == base.llc.sets * 2);
+        assert!(SystemKind::L1d40kIso.system_config(1).l1d.ways == base.l1d.ways + 2);
+        assert_ne!(SystemKind::TOpt.system_config(1).llc.replacement, base.llc.replacement);
+    }
+
+    #[test]
+    fn fig7_set_has_baseline_first_and_sdclp_last() {
+        assert_eq!(SystemKind::FIG7[0], SystemKind::Baseline);
+        assert_eq!(*SystemKind::FIG7.last().unwrap(), SystemKind::SdcLp);
+    }
+}

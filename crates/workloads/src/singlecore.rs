@@ -1,0 +1,66 @@
+//! The 36 single-core workloads (Section IV-C): every (kernel, graph)
+//! combination of Tables II and III.
+
+use gpgraph::GraphInput;
+use gpkernels::Kernel;
+
+/// One single-core workload: a kernel applied to an input graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Workload {
+    pub kernel: Kernel,
+    pub graph: GraphInput,
+}
+
+impl Workload {
+    pub fn new(kernel: Kernel, graph: GraphInput) -> Self {
+        Workload { kernel, graph }
+    }
+
+    /// Paper-style name, e.g. `cc.friendster`.
+    pub fn name(&self) -> String {
+        format!("{}.{}", self.kernel, self.graph)
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.kernel, self.graph)
+    }
+}
+
+/// All 36 kernel x graph combinations, in (kernel, graph) order.
+pub fn all_workloads() -> Vec<Workload> {
+    let mut v = Vec::with_capacity(36);
+    for kernel in Kernel::ALL {
+        for graph in GraphInput::ALL {
+            v.push(Workload::new(kernel, graph));
+        }
+    }
+    v
+}
+
+/// The paper's Fig. 3 case study workload.
+pub fn cc_friendster() -> Workload {
+    Workload::new(Kernel::Cc, GraphInput::Friendster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_36_distinct_workloads() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 36);
+        let mut names: Vec<String> = all.iter().map(|w| w.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 36);
+    }
+
+    #[test]
+    fn names_match_paper_style() {
+        assert_eq!(cc_friendster().name(), "cc.friendster");
+        assert_eq!(Workload::new(Kernel::Pr, GraphInput::Web).name(), "pr.web");
+    }
+}

@@ -1,0 +1,52 @@
+//! Mini design-space exploration with the public API: sweep the LP's
+//! tau_glob and the SDC size on one workload, as Section V-B does across
+//! the suite.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use gpgraph::{GraphInput, SuiteScale};
+use gpkernels::Kernel;
+use gpworkloads::{Runner, SystemKind, Workload};
+use sdclp::{sdclp_system, LpConfig, SdcConfig, SdcLpConfig};
+use simcore::{SystemConfig, Window};
+
+fn main() {
+    let runner = Runner::new(SuiteScale::Small, Window::new(200_000, 800_000));
+    let w = Workload::new(Kernel::Cc, GraphInput::Kron);
+    let base = runner.run_one(w, SystemKind::Baseline);
+    println!("workload {w}; baseline IPC {:.3}", base.ipc());
+
+    println!();
+    println!("tau_glob sweep (LP threshold; 0 = everything with history to the SDC):");
+    for tau in [0u64, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let cfg = SdcLpConfig {
+            lp: LpConfig { tau_glob: tau, ..LpConfig::table1() },
+            ..SdcLpConfig::table1()
+        };
+        let res = runner.run_custom(w, Box::new(sdclp_system(&SystemConfig::baseline(1), cfg)));
+        println!(
+            "  tau = {tau:>3}: speedup {:+6.1}%  (SDC path {:4.1}% of accesses)",
+            (res.speedup_over(&base) - 1.0) * 100.0,
+            100.0 * res.stats.routed_to_sdc as f64
+                / (res.stats.routed_to_sdc + res.stats.routed_to_l1d).max(1) as f64,
+        );
+    }
+
+    println!();
+    println!("SDC size sweep (bigger SDCs pay longer hit latencies, Fig. 10):");
+    for (name, sdc) in [
+        ("8KB/1cy", SdcConfig::table1()),
+        ("16KB/3cy", SdcConfig::kb16()),
+        ("32KB/4cy", SdcConfig::kb32()),
+    ] {
+        let cfg = SdcLpConfig { sdc, ..SdcLpConfig::table1() };
+        let res = runner.run_custom(w, Box::new(sdclp_system(&SystemConfig::baseline(1), cfg)));
+        println!(
+            "  {name:>8}: speedup {:+6.1}%  (SDC MPKI {:5.1})",
+            (res.speedup_over(&base) - 1.0) * 100.0,
+            res.sdc_mpki()
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a graph, run an instrumented kernel through the
+//! Baseline and SDC+LP memory systems, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gpgraph::{build, GraphInput, SuiteScale};
+use gpkernels::{run_kernel_windowed, Kernel, KernelInput};
+use sdclp::{sdclp_system, SdcLpConfig};
+use simcore::{BaselineHierarchy, Engine, MemorySystem, RecordingTracer, SystemConfig, Window};
+
+fn main() {
+    // 1. A small power-law graph (Kronecker, ~64K vertices).
+    println!("building kron graph...");
+    let graph = build(GraphInput::Kron, SuiteScale::Small);
+    println!("  {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
+    let input = KernelInput::from_symmetric(graph);
+
+    // 2. Record a windowed trace of Connected Components: every OA/NA/
+    //    property access the algorithm performs, with one synthetic PC per
+    //    access site.
+    println!("recording cc trace...");
+    let window = Window::new(200_000, 800_000);
+    let mut recorder = RecordingTracer::new(window.total());
+    run_kernel_windowed(Kernel::Cc, &input, 0, &mut recorder);
+    let trace = recorder.finish();
+    println!("  {} instructions, {} memory refs", trace.instructions, trace.mem_refs());
+
+    // 3. Replay through the Baseline (Table I) and the SDC+LP proposal.
+    let cfg = SystemConfig::baseline(1);
+    let run = |sys: Box<dyn MemorySystem + Send>| {
+        let mut engine = Engine::new(sys, cfg.core.width, cfg.core.rob_entries, window);
+        engine.replay(&trace);
+        engine.finish()
+    };
+
+    let base = run(Box::new(BaselineHierarchy::new(&cfg)));
+    let prop = run(Box::new(sdclp_system(&cfg, SdcLpConfig::table1())));
+
+    println!();
+    println!("                    Baseline    SDC+LP");
+    println!("IPC                 {:>8.3}  {:>8.3}", base.ipc(), prop.ipc());
+    println!("L1D MPKI            {:>8.1}  {:>8.1}", base.l1d_mpki(), prop.l1d_mpki());
+    println!("SDC MPKI            {:>8.1}  {:>8.1}", 0.0, prop.sdc_mpki());
+    println!("L2C MPKI            {:>8.1}  {:>8.1}", base.l2c_mpki(), prop.l2c_mpki());
+    println!("LLC MPKI            {:>8.1}  {:>8.1}", base.llc_mpki(), prop.llc_mpki());
+    println!(
+        "accesses routed to SDC: {:.1}%",
+        100.0 * prop.stats.routed_to_sdc as f64
+            / (prop.stats.routed_to_sdc + prop.stats.routed_to_l1d).max(1) as f64
+    );
+    println!();
+    println!("speedup of SDC+LP over Baseline: {:+.1}%", (prop.speedup_over(&base) - 1.0) * 100.0);
+    println!("(small scale; run the gpbench fig7 binary for the paper-scale experiment)");
+}

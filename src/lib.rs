@@ -1,0 +1,38 @@
+//! # sdclp-repro
+//!
+//! Reproduction of *Practically Tackling Memory Bottlenecks of
+//! Graph-Processing Workloads* (Jamet, Vavouliotis, Jiménez, Alvarez,
+//! Casas — IPDPS 2024): the Side Data Cache + Large Predictor (SDC+LP)
+//! proposal, its ChampSim-style simulation substrate, the GAP kernels as
+//! instrumented trace generators, every baseline the paper compares
+//! against, and the harness that regenerates every figure and table of
+//! the evaluation.
+//!
+//! This umbrella crate re-exports the workspace's five libraries:
+//!
+//! * [`sim`] (`simcore`) — the timing simulator: caches, MSHRs, DDR4-like
+//!   DRAM, prefetchers, TLBs, ROB core model, single/multi-core engines.
+//! * [`proposal`] (`sdclp`) — the paper's contribution: the Large
+//!   Predictor, the Side Data Cache, the SDCDir, and complete SDC+LP
+//!   memory systems.
+//! * [`graph`] (`gpgraph`) — CSR/CSC representation and the six Table III
+//!   input-graph generators.
+//! * [`kernels`] (`gpkernels`) — the six GAP kernels (BC, BFS, CC, PR,
+//!   TC, SSSP), instrumented and validated against independent reference
+//!   implementations.
+//! * [`workloads`] (`gpworkloads`) — the 36 single-core workloads, the 50
+//!   multi-core mixes, the regular (SPEC stand-in) suite, the seven
+//!   evaluated designs, and the trace-caching experiment [`Runner`].
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use gpgraph as graph;
+pub use gpkernels as kernels;
+pub use gpworkloads as workloads;
+pub use sdclp as proposal;
+pub use simcore as sim;
+
+pub use gpworkloads::{Runner, SystemKind, Workload};
+pub use sdclp::{sdclp_system, SdcLpConfig};
+pub use simcore::{BaselineHierarchy, Engine, SystemConfig, Window};

@@ -1,0 +1,71 @@
+//! Integration tests for the multi-core engine and weighted-speedup
+//! methodology across crates.
+
+use gpgraph::SuiteScale;
+use gpworkloads::{generate_mixes, MulticoreRunner, Runner, SystemKind};
+use simcore::Window;
+
+fn runner() -> Runner {
+    Runner::new(SuiteScale::Tiny, Window::new(10_000, 60_000))
+}
+
+#[test]
+fn mixes_run_on_all_designs() {
+    let r = runner();
+    let mc = MulticoreRunner::new(&r);
+    let mix = generate_mixes(1, 42)[0];
+    for kind in SystemKind::ALL {
+        let results = mc.run_mix(&mix, kind);
+        assert_eq!(results.len(), 4, "{kind}");
+        for res in &results {
+            assert!(res.ipc() > 0.0, "{kind}");
+        }
+    }
+}
+
+#[test]
+fn weighted_ipc_bounded_by_core_count() {
+    let r = runner();
+    let mc = MulticoreRunner::new(&r);
+    for mix in generate_mixes(3, 7) {
+        let ws = mc.weighted_ipc(&mix, SystemKind::Baseline);
+        assert!(ws > 0.0 && ws <= 4.05, "weighted IPC {ws}");
+    }
+}
+
+#[test]
+fn normalized_speedup_of_baseline_is_one() {
+    let r = runner();
+    let mc = MulticoreRunner::new(&r);
+    let mix = generate_mixes(1, 9)[0];
+    let s = mc.normalized_weighted_speedup(&mix, SystemKind::Baseline);
+    assert!((s - 1.0).abs() < 1e-9, "got {s}");
+}
+
+#[test]
+fn multicore_runs_are_deterministic() {
+    let r = runner();
+    let mc = MulticoreRunner::new(&r);
+    let mix = generate_mixes(1, 3)[0];
+    let a = mc.run_mix(&mix, SystemKind::SdcLp);
+    let b = mc.run_mix(&mix, SystemKind::SdcLp);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.cycles, y.cycles);
+    }
+}
+
+#[test]
+fn shared_mix_never_beats_isolation_per_thread() {
+    let r = runner();
+    let mc = MulticoreRunner::new(&r);
+    let mix = generate_mixes(1, 21)[0];
+    let shared = mc.run_mix(&mix, SystemKind::Baseline);
+    for (w, res) in mix.iter().zip(&shared) {
+        let single = mc.single_ipc(*w, SystemKind::Baseline);
+        assert!(
+            res.ipc() <= single * 1.10,
+            "{w}: shared {:.3} vs isolated {single:.3}",
+            res.ipc()
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based integration tests over the core data structures and the
+//! kernel/reference equivalences.
+
+use gpgraph::{build_csr, transpose, BuildOptions, Csr};
+use gpkernels::input::KernelInput;
+use gpkernels::{cc, reference, sssp};
+use proptest::prelude::*;
+use sdclp::{LargePredictor, LpConfig, Route};
+use simcore::cache::Cache;
+use simcore::config::{CacheConfig, PrefetcherKind, ReplacementKind};
+use simcore::replacement::ReplCtx;
+use simcore::trace::NullTracer;
+
+/// Random edge list over up to 64 vertices.
+fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..64).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..200))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn built_csr_is_always_valid((n, edges) in edges_strategy()) {
+        let g = build_csr(n, &edges, BuildOptions::default());
+        prop_assert!(g.validate().is_ok());
+        prop_assert!(g.is_sorted());
+    }
+
+    #[test]
+    fn transpose_is_involutive((n, edges) in edges_strategy()) {
+        let g = build_csr(n, &edges, BuildOptions::default());
+        let tt = transpose(&transpose(&g));
+        prop_assert_eq!(g, tt);
+    }
+
+    #[test]
+    fn symmetrized_graph_equals_own_transpose((n, edges) in edges_strategy()) {
+        let g = build_csr(n, &edges, BuildOptions { symmetrize: true, ..Default::default() });
+        prop_assert_eq!(transpose(&g), g);
+    }
+
+    #[test]
+    fn cc_equivalent_to_union_find((n, edges) in edges_strategy()) {
+        let g = build_csr(n, &edges, BuildOptions { symmetrize: true, ..Default::default() });
+        let input = KernelInput::from_symmetric(g);
+        let got = cc::connected_components(&input, 0, &mut NullTracer::new());
+        let expected = reference::cc_union_find(&input.csr);
+        // Same-component relation must coincide.
+        for u in 0..input.num_vertices() {
+            for v in (u + 1)..input.num_vertices() {
+                prop_assert_eq!(
+                    got.comp[u] == got.comp[v],
+                    expected[u] == expected[v],
+                    "vertices {} and {}", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_equals_dijkstra((n, edges) in edges_strategy(), delta in 1u64..64) {
+        let g = build_csr(n, &edges, BuildOptions { symmetrize: true, ..Default::default() });
+        let input = KernelInput::from_symmetric(g);
+        let src = input.default_source();
+        let got = sssp::sssp(&input, 0, src, delta, &mut NullTracer::new());
+        prop_assert!(got.complete);
+        prop_assert_eq!(got.dist, reference::dijkstra(&input.csr, src));
+    }
+
+    #[test]
+    fn lp_accumulator_never_exceeds_14_bits(
+        pcs in proptest::collection::vec(0u64..64, 1..300),
+        blocks in proptest::collection::vec(0u64..(1 << 40), 1..300),
+    ) {
+        let mut lp = LargePredictor::new(LpConfig::table1());
+        for (pc, block) in pcs.iter().zip(&blocks) {
+            lp.predict_and_train(*pc, *block);
+            if let Some(acc) = lp.accumulator_of(*pc) {
+                prop_assert!(acc <= sdclp::lp::S_ACC_MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn lp_first_access_of_a_pc_never_routes_to_sdc(pc in 0u64..1000, block in 0u64..(1 << 40)) {
+        let mut lp = LargePredictor::new(LpConfig::table1());
+        prop_assert_eq!(lp.predict_and_train(pc, block), Route::Hierarchy);
+    }
+
+    #[test]
+    fn cache_never_exceeds_capacity_and_keeps_mru(
+        blocks in proptest::collection::vec(0u64..4096, 1..500),
+    ) {
+        let mut cache = Cache::new(&CacheConfig {
+            sets: 16,
+            ways: 4,
+            latency: 1,
+            mshr_entries: 4,
+            replacement: ReplacementKind::Lru,
+            prefetcher: PrefetcherKind::None,
+        });
+        for &b in &blocks {
+            let addr = b << 6;
+            cache.access(addr, b, false, ReplCtx::NONE);
+            cache.fill(addr, b, false, false, ReplCtx::NONE);
+            // The block just filled must be resident (MRU is never the
+            // victim of its own fill).
+            prop_assert!(cache.probe(b));
+            prop_assert!(cache.occupancy() <= 64);
+        }
+    }
+
+    #[test]
+    fn dram_completion_after_issue(
+        blocks in proptest::collection::vec(0u64..(1u64 << 30), 1..200),
+    ) {
+        let mut dram = simcore::dram::Dram::new(&simcore::SystemConfig::baseline(1).dram);
+        let mut now = 0u64;
+        for &b in &blocks {
+            let done = dram.access(b, false, now);
+            prop_assert!(done > now);
+            now += 3;
+        }
+    }
+}
+
+/// Non-proptest sanity: the suite builder's six graphs stay connected
+/// enough for traversal kernels to do real work.
+#[test]
+fn suite_graphs_have_giant_components() {
+    use gpgraph::{build, GraphInput, SuiteScale};
+    for g in [GraphInput::Kron, GraphInput::Urand, GraphInput::Friendster] {
+        let csr = build(g, SuiteScale::Tiny);
+        let input = KernelInput::from_symmetric(csr);
+        let src = input.default_source();
+        let levels = reference::bfs_levels(&input.csr, src);
+        let reached = levels.iter().filter(|&&d| d != u32::MAX).count();
+        assert!(
+            reached * 2 > input.num_vertices(),
+            "{g}: giant component only {reached}/{}",
+            input.num_vertices()
+        );
+    }
+}
+
+/// The Csr type rejects malformed inputs (panic-based contract).
+#[test]
+#[should_panic(expected = "invalid CSR")]
+fn csr_rejects_decreasing_offsets() {
+    let _ = Csr::from_raw(vec![0, 5, 3], vec![0, 0, 0, 0, 0]);
+}
