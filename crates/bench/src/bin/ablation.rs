@@ -9,9 +9,9 @@
 //!    (RRIP-class policies do little for graphs — Section VI's claim.)
 
 use gpbench::{pct, HarnessOpts, TextTable};
-use gpworkloads::{SystemKind, Workload};
 use gpgraph::GraphInput;
 use gpkernels::Kernel;
+use gpworkloads::{MatrixPoint, RunRecord, SystemKind, SystemSpec, Workload};
 use sdclp::{Route, SdcCore, SdcLpConfig, StaticRouter};
 use simcore::config::ReplacementKind;
 use simcore::geomean;
@@ -29,6 +29,23 @@ fn subset() -> Vec<Workload> {
     ]
 }
 
+/// Run `specs` (Baseline first) over the subset and return records chunked
+/// per workload.
+fn run_ablation(
+    opts: &HarnessOpts,
+    runner: &gpworkloads::Runner,
+    tag: &str,
+    specs: &[SystemSpec],
+) -> Vec<Vec<RunRecord>> {
+    let points: Vec<MatrixPoint> = subset()
+        .into_iter()
+        .filter(|w| opts.selected(&w.name()))
+        .flat_map(|w| specs.iter().map(move |s| MatrixPoint::new(w, s.clone())))
+        .collect();
+    let records = runner.run_matrix_points(&points, &opts.matrix_options(tag));
+    records.chunks(specs.len()).map(<[RunRecord]>::to_vec).collect()
+}
+
 fn main() {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
@@ -36,25 +53,31 @@ fn main() {
 
     // --- Ablation 1: routing policy -------------------------------------
     println!("Ablation 1: what routes accesses to the SDC?");
+    let specs = vec![
+        SystemSpec::Kind(SystemKind::Baseline),
+        SystemSpec::Kind(SystemKind::SdcLp),
+        SystemSpec::Kind(SystemKind::Expert),
+        SystemSpec::custom(
+            "all-to-SDC",
+            format!("all-to-SDC {:?} {sys_cfg:?}", SdcLpConfig::table1()),
+            move |_| {
+                let core =
+                    SdcCore::new(&sys_cfg, SdcLpConfig::table1(), StaticRouter(Route::Sdc), 0);
+                Box::new(SingleCore::from_parts(core, SharedBackend::new(&sys_cfg)))
+            },
+        ),
+    ];
     let mut t1 = TextTable::new(vec!["workload", "LP (paper)", "Expert", "all-to-SDC"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for w in subset() {
-        if !opts.selected(&w.name()) {
-            continue;
+    for chunk in run_ablation(&opts, &runner, "ablation1", &specs) {
+        let base = &chunk[0].result;
+        let mut cells = vec![chunk[0].workload.name()];
+        for (c, rec) in cols.iter_mut().zip(&chunk[1..]) {
+            let s = rec.result.speedup_over(base);
+            c.push(s);
+            cells.push(pct(s));
         }
-        let base = runner.run_one(w, SystemKind::Baseline);
-        let lp = runner.run_one(w, SystemKind::SdcLp).speedup_over(&base);
-        let expert = runner.run_one(w, SystemKind::Expert).speedup_over(&base);
-        let all_sdc = {
-            let core = SdcCore::new(&sys_cfg, SdcLpConfig::table1(), StaticRouter(Route::Sdc), 0);
-            let sys = SingleCore::from_parts(core, SharedBackend::new(&sys_cfg));
-            runner.run_custom(w, Box::new(sys)).speedup_over(&base)
-        };
-        for (c, v) in cols.iter_mut().zip([lp, expert, all_sdc]) {
-            c.push(v);
-        }
-        t1.row(vec![w.name(), pct(lp), pct(expert), pct(all_sdc)]);
-        eprintln!("ablation1 {w}");
+        t1.row(cells);
     }
     t1.row(vec![
         "GEOMEAN".into(),
@@ -67,79 +90,82 @@ fn main() {
     // --- Ablation 2: directory-probe latency ----------------------------
     println!();
     println!("Ablation 2: SDC-miss directory-probe latency sensitivity");
+    let mut specs = vec![SystemSpec::Kind(SystemKind::Baseline)];
+    for lat in [4u64, 8, 16, 32] {
+        let cfg = SdcLpConfig { dir_probe_latency: lat, ..SdcLpConfig::table1() };
+        specs.push(SystemSpec::custom(
+            format!("probe={lat}cy"),
+            format!("{cfg:?} {sys_cfg:?}"),
+            move |_| Box::new(sdclp::sdclp_system(&sys_cfg, cfg)),
+        ));
+    }
     let mut t2 = TextTable::new(vec!["workload", "4cy", "8cy (paper-ish)", "16cy", "32cy"]);
-    for w in subset() {
-        if !opts.selected(&w.name()) {
-            continue;
-        }
-        let base = runner.run_one(w, SystemKind::Baseline);
-        let mut cells = vec![w.name()];
-        for lat in [4u64, 8, 16, 32] {
-            let cfg = SdcLpConfig { dir_probe_latency: lat, ..SdcLpConfig::table1() };
-            let res = runner.run_custom(w, Box::new(sdclp::sdclp_system(&sys_cfg, cfg)));
-            cells.push(pct(res.speedup_over(&base)));
+    for chunk in run_ablation(&opts, &runner, "ablation2", &specs) {
+        let base = &chunk[0].result;
+        let mut cells = vec![chunk[0].workload.name()];
+        for rec in &chunk[1..] {
+            cells.push(pct(rec.result.speedup_over(base)));
         }
         t2.row(cells);
-        eprintln!("ablation2 {w}");
     }
     t2.print();
 
     // --- Ablation 3: related-work cache tweaks on the baseline ----------
     println!();
     println!("Ablation 3: LLC replacement + victim cache (baseline hierarchy)");
+    let mut specs = vec![SystemSpec::Kind(SystemKind::Baseline)];
+    for kind in [ReplacementKind::Srrip, ReplacementKind::TOpt] {
+        let mut cfg = sys_cfg;
+        cfg.llc.replacement = kind;
+        specs.push(SystemSpec::custom(format!("llc={kind:?}"), format!("{cfg:?}"), move |_| {
+            Box::new(simcore::BaselineHierarchy::new(&cfg))
+        }));
+    }
+    // Jouppi-style 16-entry victim cache: recovers conflict misses, which
+    // the paper argues graph workloads barely have.
+    let vcfg = SystemConfig::victim_cache(1);
+    specs.push(SystemSpec::custom("victim", format!("{vcfg:?}"), move |_| {
+        Box::new(simcore::BaselineHierarchy::new(&vcfg))
+    }));
     let mut t3 = TextTable::new(vec!["workload", "SRRIP", "T-OPT", "victim cache"]);
-    for w in subset() {
-        if !opts.selected(&w.name()) {
-            continue;
+    for chunk in run_ablation(&opts, &runner, "ablation3", &specs) {
+        let base = &chunk[0].result;
+        let mut cells = vec![chunk[0].workload.name()];
+        for rec in &chunk[1..] {
+            cells.push(pct(rec.result.speedup_over(base)));
         }
-        let base = runner.run_one(w, SystemKind::Baseline);
-        let mut cells = vec![w.name()];
-        for kind in [ReplacementKind::Srrip, ReplacementKind::TOpt] {
-            let mut cfg = sys_cfg;
-            cfg.llc.replacement = kind;
-            let res = runner.run_custom(w, Box::new(simcore::BaselineHierarchy::new(&cfg)));
-            cells.push(pct(res.speedup_over(&base)));
-        }
-        // Jouppi-style 16-entry victim cache: recovers conflict misses,
-        // which the paper argues graph workloads barely have.
-        let vcfg = SystemConfig::victim_cache(1);
-        let res = runner.run_custom(w, Box::new(simcore::BaselineHierarchy::new(&vcfg)));
-        cells.push(pct(res.speedup_over(&base)));
         t3.row(cells);
-        runner.evict_trace(w);
-        eprintln!("ablation3 {w}");
     }
     t3.print();
 
     // --- Ablation 4: prefetcher interplay (the paper's future work) -----
     println!();
-    println!("Ablation 4: L1D prefetcher x SDC+LP (Section VI leaves the combination to future work)");
-    let mut t4 = TextTable::new(vec![
-        "workload",
-        "base+stride",
-        "sdclp (next-line)",
-        "sdclp+stride L1D",
-    ]);
-    for w in subset() {
-        if !opts.selected(&w.name()) {
-            continue;
+    println!(
+        "Ablation 4: L1D prefetcher x SDC+LP (Section VI leaves the combination to future work)"
+    );
+    let mut stride_cfg = sys_cfg;
+    stride_cfg.l1d.prefetcher = simcore::config::PrefetcherKind::Stride;
+    let specs = vec![
+        SystemSpec::Kind(SystemKind::Baseline),
+        SystemSpec::custom("base+stride", format!("{stride_cfg:?}"), move |_| {
+            Box::new(simcore::BaselineHierarchy::new(&stride_cfg))
+        }),
+        SystemSpec::Kind(SystemKind::SdcLp),
+        SystemSpec::custom(
+            "sdclp+stride",
+            format!("{:?} {stride_cfg:?}", SdcLpConfig::table1()),
+            move |_| Box::new(sdclp::sdclp_system(&stride_cfg, SdcLpConfig::table1())),
+        ),
+    ];
+    let mut t4 =
+        TextTable::new(vec!["workload", "base+stride", "sdclp (next-line)", "sdclp+stride L1D"]);
+    for chunk in run_ablation(&opts, &runner, "ablation4", &specs) {
+        let base = &chunk[0].result;
+        let mut cells = vec![chunk[0].workload.name()];
+        for rec in &chunk[1..] {
+            cells.push(pct(rec.result.speedup_over(base)));
         }
-        let base = runner.run_one(w, SystemKind::Baseline);
-        let mut stride_cfg = sys_cfg;
-        stride_cfg.l1d.prefetcher = simcore::config::PrefetcherKind::Stride;
-        let base_stride = runner
-            .run_custom(w, Box::new(simcore::BaselineHierarchy::new(&stride_cfg)))
-            .speedup_over(&base);
-        let sdclp = runner.run_one(w, SystemKind::SdcLp).speedup_over(&base);
-        let sdclp_stride = runner
-            .run_custom(
-                w,
-                Box::new(sdclp::sdclp_system(&stride_cfg, SdcLpConfig::table1())),
-            )
-            .speedup_over(&base);
-        t4.row(vec![w.name(), pct(base_stride), pct(sdclp), pct(sdclp_stride)]);
-        runner.evict_trace(w);
-        eprintln!("ablation4 {w}");
+        t4.row(cells);
     }
     t4.print();
 

@@ -3,27 +3,31 @@
 //! simulator's behaviour against the paper's narrative (and to debug it).
 
 use gpbench::HarnessOpts;
-use gpworkloads::{all_workloads, SystemKind};
+use gpworkloads::{cross, SystemKind};
 
 fn main() {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
 
-    for w in all_workloads() {
-        if !opts.selected(&w.name()) {
-            continue;
-        }
-        println!("=== {w} (scale {:?}, window {}+{}) ===", opts.scale, opts.window.warmup, opts.window.measure);
-        let base = runner.run_one(w, SystemKind::Baseline);
-        for kind in SystemKind::ALL {
-            let r = runner.run_one(w, kind);
+    let points = cross(&opts.workloads(), &SystemKind::ALL);
+    let records = runner.run_matrix_with(&points, &opts.matrix_options("diag"));
+
+    for chunk in records.chunks(SystemKind::ALL.len()) {
+        let w = chunk[0].workload;
+        println!(
+            "=== {w} (scale {:?}, window {}+{}) ===",
+            opts.scale, opts.window.warmup, opts.window.measure
+        );
+        let base = &chunk[0].result;
+        for rec in chunk {
+            let r = &rec.result;
             let s = &r.stats;
             println!(
                 "{:<18} ipc {:.3} speedup {:+.1}% | MPKI l1d {:6.1} sdc {:6.1} l2c {:6.1} llc {:6.1} | \
                  dram r/w {:>8}/{:<8} rowhit {:4.1}% lat {:6.1} | routed sdc {:5.1}% srv-hier {} pf-fills l1 {} sdc {}",
-                kind.name(),
+                rec.label,
                 r.ipc(),
-                (r.speedup_over(&base) - 1.0) * 100.0,
+                (r.speedup_over(base) - 1.0) * 100.0,
                 r.l1d_mpki(),
                 r.sdc_mpki(),
                 r.l2c_mpki(),
@@ -38,6 +42,5 @@ fn main() {
                 s.sdc.prefetch_fills,
             );
         }
-        runner.evict_trace(w);
     }
 }

@@ -7,7 +7,7 @@
 //! gains of the bigger configurations.
 
 use gpbench::{pct, HarnessOpts, TextTable};
-use gpworkloads::{all_workloads, SystemKind};
+use gpworkloads::{MatrixPoint, SystemKind, SystemSpec};
 use sdclp::{SdcConfig, SdcLpConfig};
 use simcore::geomean;
 
@@ -15,42 +15,57 @@ fn main() {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
 
-    let points = [
-        ("8KB", SdcConfig::table1()),
-        ("16KB", SdcConfig::kb16()),
-        ("32KB", SdcConfig::kb32()),
-    ];
+    let sizes =
+        [("8KB", SdcConfig::table1()), ("16KB", SdcConfig::kb16()), ("32KB", SdcConfig::kb32())];
 
-    let mut table =
-        TextTable::new(vec!["workload", "8KB MPKI", "16KB MPKI", "32KB MPKI", "8KB", "16KB", "32KB"]);
+    // One spec per design point, cloned across workloads.
+    let sys_cfg = simcore::SystemConfig::baseline(1);
+    let mut specs = vec![SystemSpec::Kind(SystemKind::Baseline)];
+    for (label, sdc) in &sizes {
+        let cfg = SdcLpConfig { sdc: *sdc, ..runner.sdclp };
+        specs.push(SystemSpec::custom(
+            format!("SDC {label}"),
+            format!("{cfg:?} {sys_cfg:?}"),
+            move |_| Box::new(sdclp::sdclp_system(&sys_cfg, cfg)),
+        ));
+    }
+
+    let points: Vec<MatrixPoint> = opts
+        .workloads()
+        .into_iter()
+        .flat_map(|w| specs.iter().map(move |s| MatrixPoint::new(w, s.clone())))
+        .collect();
+    let records = runner.run_matrix_points(&points, &opts.matrix_options("fig10"));
+
+    let mut table = TextTable::new(vec![
+        "workload",
+        "8KB MPKI",
+        "16KB MPKI",
+        "32KB MPKI",
+        "8KB",
+        "16KB",
+        "32KB",
+    ]);
     let mut mpki_sum = [0.0f64; 3];
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
     let mut n = 0;
 
-    for w in all_workloads() {
-        if !opts.selected(&w.name()) {
-            continue;
-        }
-        let base = runner.run_one(w, SystemKind::Baseline);
+    for chunk in records.chunks(specs.len()) {
+        let base = &chunk[0].result;
         let mut mpkis = Vec::new();
         let mut pcts = Vec::new();
-        for (i, (_, sdc)) in points.iter().enumerate() {
-            let cfg = SdcLpConfig { sdc: *sdc, ..runner.sdclp };
-            let sys = build_system_with(cfg);
-            let res = runner.run_custom(w, sys);
-            let s = res.speedup_over(&base);
-            mpki_sum[i] += res.sdc_mpki();
+        for (i, rec) in chunk[1..].iter().enumerate() {
+            let s = rec.result.speedup_over(base);
+            mpki_sum[i] += rec.result.sdc_mpki();
             speedups[i].push(s);
-            mpkis.push(format!("{:.1}", res.sdc_mpki()));
+            mpkis.push(format!("{:.1}", rec.result.sdc_mpki()));
             pcts.push(pct(s));
         }
-        let mut cells = vec![w.name()];
+        let mut cells = vec![chunk[0].workload.name()];
         cells.extend(mpkis);
         cells.extend(pcts);
         table.row(cells);
         n += 1;
-        runner.evict_trace(w);
-        eprintln!("done {w}");
     }
 
     let mut cells = vec!["AVG/GEOMEAN".to_string()];
@@ -61,10 +76,7 @@ fn main() {
     println!("Figure 10: SDC size exploration ({:?} scale)", opts.scale);
     table.print();
     println!();
-    println!("Paper reference: SDC MPKI 50.5/49.1/48.0; 8KB performs best (latency beats capacity).");
-}
-
-fn build_system_with(cfg: SdcLpConfig) -> Box<dyn simcore::MemorySystem + Send> {
-    let sys_cfg = simcore::SystemConfig::baseline(1);
-    Box::new(sdclp::sdclp_system(&sys_cfg, cfg))
+    println!(
+        "Paper reference: SDC MPKI 50.5/49.1/48.0; 8KB performs best (latency beats capacity)."
+    );
 }

@@ -6,7 +6,7 @@
 //! sites.
 
 use gpbench::{pct, HarnessOpts, TextTable};
-use gpworkloads::{all_workloads, SystemKind};
+use gpworkloads::{MatrixPoint, SystemKind, SystemSpec};
 use sdclp::{LpConfig, SdcLpConfig};
 use simcore::geomean;
 
@@ -15,31 +15,41 @@ fn main() {
     let runner = opts.runner();
     let entry_counts = [8usize, 16, 32, 64];
 
+    let sys_cfg = simcore::SystemConfig::baseline(1);
+    let mut specs = vec![SystemSpec::Kind(SystemKind::Baseline)];
+    for &entries in &entry_counts {
+        let cfg = SdcLpConfig {
+            lp: LpConfig::fully_associative(entries, runner.sdclp.lp.tau_glob),
+            ..runner.sdclp
+        };
+        specs.push(SystemSpec::custom(
+            format!("LP {entries}e"),
+            format!("{cfg:?} {sys_cfg:?}"),
+            move |_| Box::new(sdclp::sdclp_system(&sys_cfg, cfg)),
+        ));
+    }
+
+    let points: Vec<MatrixPoint> = opts
+        .workloads()
+        .into_iter()
+        .flat_map(|w| specs.iter().map(move |s| MatrixPoint::new(w, s.clone())))
+        .collect();
+    let records = runner.run_matrix_points(&points, &opts.matrix_options("fig11"));
+
     let mut headers = vec!["workload".to_string()];
     headers.extend(entry_counts.iter().map(|e| format!("{e} entries")));
     let mut table = TextTable::new(headers);
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); entry_counts.len()];
 
-    for w in all_workloads() {
-        if !opts.selected(&w.name()) {
-            continue;
-        }
-        let base = runner.run_one(w, SystemKind::Baseline);
-        let mut cells = vec![w.name()];
-        for (i, &entries) in entry_counts.iter().enumerate() {
-            let cfg = SdcLpConfig {
-                lp: LpConfig::fully_associative(entries, runner.sdclp.lp.tau_glob),
-                ..runner.sdclp
-            };
-            let sys = Box::new(sdclp::sdclp_system(&simcore::SystemConfig::baseline(1), cfg));
-            let res = runner.run_custom(w, sys);
-            let s = res.speedup_over(&base);
+    for chunk in records.chunks(specs.len()) {
+        let base = &chunk[0].result;
+        let mut cells = vec![chunk[0].workload.name()];
+        for (i, rec) in chunk[1..].iter().enumerate() {
+            let s = rec.result.speedup_over(base);
             speedups[i].push(s);
             cells.push(pct(s));
         }
         table.row(cells);
-        runner.evict_trace(w);
-        eprintln!("done {w}");
     }
 
     let mut geo = vec!["GEOMEAN".to_string()];

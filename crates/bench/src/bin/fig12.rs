@@ -5,7 +5,7 @@
 //! 8-way design (Table I) approaches the fully-associative optimum.
 
 use gpbench::{pct, HarnessOpts, TextTable};
-use gpworkloads::{all_workloads, SystemKind};
+use gpworkloads::{MatrixPoint, SystemKind, SystemSpec};
 use sdclp::{LpConfig, SdcLpConfig};
 use simcore::geomean;
 
@@ -13,6 +13,27 @@ fn main() {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
     let ways_sweep = [1usize, 2, 8, 32];
+
+    let sys_cfg = simcore::SystemConfig::baseline(1);
+    let mut specs = vec![SystemSpec::Kind(SystemKind::Baseline)];
+    for &ways in &ways_sweep {
+        let cfg = SdcLpConfig {
+            lp: LpConfig { entries: 32, ways, tau_glob: runner.sdclp.lp.tau_glob },
+            ..runner.sdclp
+        };
+        specs.push(SystemSpec::custom(
+            format!("LP {ways}w"),
+            format!("{cfg:?} {sys_cfg:?}"),
+            move |_| Box::new(sdclp::sdclp_system(&sys_cfg, cfg)),
+        ));
+    }
+
+    let points: Vec<MatrixPoint> = opts
+        .workloads()
+        .into_iter()
+        .flat_map(|w| specs.iter().map(move |s| MatrixPoint::new(w, s.clone())))
+        .collect();
+    let records = runner.run_matrix_points(&points, &opts.matrix_options("fig12"));
 
     let mut headers = vec!["workload".to_string()];
     headers.extend(ways_sweep.iter().map(|w| {
@@ -25,26 +46,15 @@ fn main() {
     let mut table = TextTable::new(headers);
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); ways_sweep.len()];
 
-    for w in all_workloads() {
-        if !opts.selected(&w.name()) {
-            continue;
-        }
-        let base = runner.run_one(w, SystemKind::Baseline);
-        let mut cells = vec![w.name()];
-        for (i, &ways) in ways_sweep.iter().enumerate() {
-            let cfg = SdcLpConfig {
-                lp: LpConfig { entries: 32, ways, tau_glob: runner.sdclp.lp.tau_glob },
-                ..runner.sdclp
-            };
-            let sys = Box::new(sdclp::sdclp_system(&simcore::SystemConfig::baseline(1), cfg));
-            let res = runner.run_custom(w, sys);
-            let s = res.speedup_over(&base);
+    for chunk in records.chunks(specs.len()) {
+        let base = &chunk[0].result;
+        let mut cells = vec![chunk[0].workload.name()];
+        for (i, rec) in chunk[1..].iter().enumerate() {
+            let s = rec.result.speedup_over(base);
             speedups[i].push(s);
             cells.push(pct(s));
         }
         table.row(cells);
-        runner.evict_trace(w);
-        eprintln!("done {w}");
     }
 
     let mut geo = vec!["GEOMEAN".to_string()];

@@ -7,28 +7,27 @@
 //! (pr.web).
 
 use gpbench::{pct, HarnessOpts, TextTable};
-use gpworkloads::{all_workloads, SystemKind};
+use gpworkloads::{cross, SystemKind};
 use simcore::geomean;
 
 fn main() {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
 
+    let kinds = [SystemKind::Baseline, SystemKind::SdcLp, SystemKind::Expert];
+    let points = cross(&opts.workloads(), &kinds);
+    let records = runner.run_matrix_with(&points, &opts.matrix_options("fig13"));
+
     let mut table = TextTable::new(vec!["workload", "SDC+LP", "Expert Programmer"]);
     let (mut s_lp, mut s_ex) = (Vec::new(), Vec::new());
 
-    for w in all_workloads() {
-        if !opts.selected(&w.name()) {
-            continue;
-        }
-        let base = runner.run_one(w, SystemKind::Baseline);
-        let lp = runner.run_one(w, SystemKind::SdcLp).speedup_over(&base);
-        let ex = runner.run_one(w, SystemKind::Expert).speedup_over(&base);
-        table.row(vec![w.name(), pct(lp), pct(ex)]);
+    for chunk in records.chunks(kinds.len()) {
+        let base = &chunk[0].result;
+        let lp = chunk[1].result.speedup_over(base);
+        let ex = chunk[2].result.speedup_over(base);
+        table.row(vec![chunk[0].workload.name(), pct(lp), pct(ex)]);
         s_lp.push(lp);
         s_ex.push(ex);
-        runner.evict_trace(w);
-        eprintln!("done {w}");
     }
 
     table.row(vec!["GEOMEAN".to_string(), pct(geomean(&s_lp)), pct(geomean(&s_ex))]);

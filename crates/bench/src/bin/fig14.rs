@@ -41,8 +41,7 @@ fn main() {
 
     for (mi, mix) in paper_mixes().into_iter().take(mix_count).enumerate() {
         let base = mc.weighted_ipc(&mix, SystemKind::Baseline);
-        let mut cells =
-            vec![format!("{mi:02} [{}]", mix.map(|w| w.name()).join(","))];
+        let mut cells = vec![format!("{mi:02} [{}]", mix.map(|w| w.name()).join(","))];
         for (i, &kind) in kinds.iter().enumerate() {
             let ws = mc.weighted_ipc(&mix, kind) / base.max(1e-9);
             speedups[i].push(ws);

@@ -5,26 +5,26 @@
 //! i.e. almost every L1D miss also misses the L2C and LLC (Findings 1-2).
 
 use gpbench::{HarnessOpts, TextTable};
-use gpworkloads::{all_workloads, SystemKind};
+use gpworkloads::{cross, SystemKind};
 
 fn main() {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
 
+    let points = cross(&opts.workloads(), &[SystemKind::Baseline]);
+    let records = runner.run_matrix_with(&points, &opts.matrix_options("fig2"));
+
     let mut table = TextTable::new(vec!["workload", "L1D", "L2C", "LLC", "DRAM/L1D-miss"]);
     let (mut s1, mut s2, mut s3) = (Vec::new(), Vec::new(), Vec::new());
     let mut dram_fraction = Vec::new();
 
-    for w in all_workloads() {
-        if !opts.selected(&w.name()) {
-            continue;
-        }
-        let r = runner.run_one(w, SystemKind::Baseline);
+    for rec in &records {
+        let r = &rec.result;
         let (l1, l2, llc) = (r.l1d_mpki(), r.l2c_mpki(), r.llc_mpki());
         // Finding 2's statistic: fraction of L1D misses served by DRAM.
         let frac = if l1 > 0.0 { llc / l1 } else { 0.0 };
         table.row(vec![
-            w.name(),
+            rec.workload.name(),
             format!("{l1:.1}"),
             format!("{l2:.1}"),
             format!("{llc:.1}"),
@@ -34,8 +34,6 @@ fn main() {
         s2.push(l2);
         s3.push(llc);
         dram_fraction.push(frac);
-        runner.evict_trace(w);
-        eprintln!("done {w}");
     }
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
@@ -50,5 +48,7 @@ fn main() {
     println!("Figure 2: Baseline MPKI per cache level ({:?} scale)", opts.scale);
     table.print();
     println!();
-    println!("Paper reference averages: L1D 53.2, L2C 44.5, LLC 41.8; 78.6% of L1D misses reach DRAM.");
+    println!(
+        "Paper reference averages: L1D 53.2, L2C 44.5, LLC 41.8; 78.6% of L1D misses reach DRAM."
+    );
 }

@@ -6,7 +6,7 @@
 //! +0.1%, T-OPT +9.4%, 2xLLC +11.2%, SDC+LP +20.3%.
 
 use gpbench::{pct, HarnessOpts, TextTable};
-use gpworkloads::{all_workloads, SystemKind};
+use gpworkloads::{cross, SystemKind};
 use simcore::geomean;
 
 fn main() {
@@ -20,26 +20,26 @@ fn main() {
         SystemKind::SdcLp,
     ];
 
+    // Baseline leads each per-workload chunk so speedups compute per row.
+    let mut all_kinds = vec![SystemKind::Baseline];
+    all_kinds.extend_from_slice(&kinds);
+    let points = cross(&opts.workloads(), &all_kinds);
+    let records = runner.run_matrix_with(&points, &opts.matrix_options("fig7"));
+
     let mut headers = vec!["workload".to_string()];
     headers.extend(kinds.iter().map(|k| k.name().to_string()));
     let mut table = TextTable::new(headers);
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
 
-    for w in all_workloads() {
-        if !opts.selected(&w.name()) {
-            continue;
-        }
-        let base = runner.run_one(w, SystemKind::Baseline);
-        let mut cells = vec![w.name()];
-        for (i, &kind) in kinds.iter().enumerate() {
-            let res = runner.run_one(w, kind);
-            let s = res.speedup_over(&base);
+    for chunk in records.chunks(all_kinds.len()) {
+        let base = &chunk[0].result;
+        let mut cells = vec![chunk[0].workload.name()];
+        for (i, rec) in chunk[1..].iter().enumerate() {
+            let s = rec.result.speedup_over(base);
             speedups[i].push(s);
             cells.push(pct(s));
         }
         table.row(cells);
-        runner.evict_trace(w);
-        eprintln!("done {w}");
     }
 
     let mut geo = vec!["GEOMEAN".to_string()];

@@ -4,31 +4,26 @@
 //! to 4.4 / 2.8 (SDC+LP) — the bypass removes the useless look-ups.
 
 use gpbench::{HarnessOpts, TextTable};
-use gpworkloads::{all_workloads, SystemKind};
+use gpworkloads::{cross, SystemKind};
 
 fn main() {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
 
-    let mut table = TextTable::new(vec![
-        "workload",
-        "base L2C",
-        "base LLC",
-        "sdclp L2C",
-        "sdclp LLC",
-    ]);
+    let kinds = [SystemKind::Baseline, SystemKind::SdcLp];
+    let points = cross(&opts.workloads(), &kinds);
+    let records = runner.run_matrix_with(&points, &opts.matrix_options("fig8"));
+
+    let mut table =
+        TextTable::new(vec!["workload", "base L2C", "base LLC", "sdclp L2C", "sdclp LLC"]);
     let mut sums = [0.0f64; 4];
     let mut n = 0;
 
-    for w in all_workloads() {
-        if !opts.selected(&w.name()) {
-            continue;
-        }
-        let base = runner.run_one(w, SystemKind::Baseline);
-        let sdclp = runner.run_one(w, SystemKind::SdcLp);
+    for chunk in records.chunks(kinds.len()) {
+        let (base, sdclp) = (&chunk[0].result, &chunk[1].result);
         let row = [base.l2c_mpki(), base.llc_mpki(), sdclp.l2c_mpki(), sdclp.llc_mpki()];
         table.row(
-            std::iter::once(w.name())
+            std::iter::once(chunk[0].workload.name())
                 .chain(row.iter().map(|v| format!("{v:.1}")))
                 .collect(),
         );
@@ -36,8 +31,6 @@ fn main() {
             *s += v;
         }
         n += 1;
-        runner.evict_trace(w);
-        eprintln!("done {w}");
     }
 
     table.row(

@@ -6,33 +6,28 @@
 //! separates the two access classes.
 
 use gpbench::{HarnessOpts, TextTable};
-use gpworkloads::{all_workloads, SystemKind};
+use gpworkloads::{cross, SystemKind};
 
 fn main() {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
 
-    let mut table = TextTable::new(vec![
-        "workload",
-        "base L1D",
-        "sdclp L1D",
-        "sdclp SDC",
-        "SDC routed",
-    ]);
+    let kinds = [SystemKind::Baseline, SystemKind::SdcLp];
+    let points = cross(&opts.workloads(), &kinds);
+    let records = runner.run_matrix_with(&points, &opts.matrix_options("fig9"));
+
+    let mut table =
+        TextTable::new(vec!["workload", "base L1D", "sdclp L1D", "sdclp SDC", "SDC routed"]);
     let mut sums = [0.0f64; 3];
     let mut n = 0;
 
-    for w in all_workloads() {
-        if !opts.selected(&w.name()) {
-            continue;
-        }
-        let base = runner.run_one(w, SystemKind::Baseline);
-        let sdclp = runner.run_one(w, SystemKind::SdcLp);
+    for chunk in records.chunks(kinds.len()) {
+        let (base, sdclp) = (&chunk[0].result, &chunk[1].result);
         let routed = sdclp.stats.routed_to_sdc as f64
             / (sdclp.stats.routed_to_sdc + sdclp.stats.routed_to_l1d).max(1) as f64;
         let row = [base.l1d_mpki(), sdclp.l1d_mpki(), sdclp.sdc_mpki()];
         table.row(vec![
-            w.name(),
+            chunk[0].workload.name(),
             format!("{:.1}", row[0]),
             format!("{:.1}", row[1]),
             format!("{:.1}", row[2]),
@@ -42,8 +37,6 @@ fn main() {
             *s += v;
         }
         n += 1;
-        runner.evict_trace(w);
-        eprintln!("done {w}");
     }
 
     table.row(vec![

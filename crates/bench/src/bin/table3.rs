@@ -32,6 +32,8 @@ fn main() {
     println!("Table III: input graphs ({:?} scale)", opts.scale);
     table.print();
     println!();
-    println!("Paper originals (vertices M / edges M): web 50.6/1949, road 23.9/58, twitter 61.6/1468,");
+    println!(
+        "Paper originals (vertices M / edges M): web 50.6/1949, road 23.9/58, twitter 61.6/1468,"
+    );
     println!("kron 134.2/2112, urand 134.2/2147, friendster 65.6/3612 — scaled ~32-64x here (DESIGN.md).");
 }

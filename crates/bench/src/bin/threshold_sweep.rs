@@ -6,7 +6,7 @@
 //! Paper reference: tau_glob = 8 gives +20.3% on GAP and +0.5% on SPEC.
 
 use gpbench::{pct, HarnessOpts, TextTable};
-use gpworkloads::{all_workloads, RegularKind, SystemKind};
+use gpworkloads::{MatrixPoint, RegularKind, SystemKind, SystemSpec};
 use sdclp::{LpConfig, SdcLpConfig};
 use simcore::geomean;
 
@@ -15,26 +15,34 @@ fn main() {
     let runner = opts.runner();
     let taus = [0u64, 2, 4, 8, 16, 32, 64, 128, 256];
 
-    // GAP side.
+    // GAP side: Baseline plus one SDC+LP variant per tau, per workload.
+    let sys_cfg = simcore::SystemConfig::baseline(1);
+    let mut specs = vec![SystemSpec::Kind(SystemKind::Baseline)];
+    for &tau in &taus {
+        let cfg = SdcLpConfig { lp: LpConfig { tau_glob: tau, ..runner.sdclp.lp }, ..runner.sdclp };
+        specs.push(SystemSpec::custom(
+            format!("tau={tau}"),
+            format!("{cfg:?} {sys_cfg:?}"),
+            move |_| Box::new(sdclp::sdclp_system(&sys_cfg, cfg)),
+        ));
+    }
+    let points: Vec<MatrixPoint> = opts
+        .workloads()
+        .into_iter()
+        .flat_map(|w| specs.iter().map(move |s| MatrixPoint::new(w, s.clone())))
+        .collect();
+    let records = runner.run_matrix_points(&points, &opts.matrix_options("threshold_sweep"));
+
     let mut gap_speedups: Vec<Vec<f64>> = vec![Vec::new(); taus.len()];
-    for w in all_workloads() {
-        if !opts.selected(&w.name()) {
-            continue;
+    for chunk in records.chunks(specs.len()) {
+        let base = &chunk[0].result;
+        for (i, rec) in chunk[1..].iter().enumerate() {
+            gap_speedups[i].push(rec.result.speedup_over(base));
         }
-        let base = runner.run_one(w, SystemKind::Baseline);
-        for (i, &tau) in taus.iter().enumerate() {
-            let cfg = SdcLpConfig {
-                lp: LpConfig { tau_glob: tau, ..runner.sdclp.lp },
-                ..runner.sdclp
-            };
-            let sys = Box::new(sdclp::sdclp_system(&simcore::SystemConfig::baseline(1), cfg));
-            gap_speedups[i].push(runner.run_custom(w, sys).speedup_over(&base));
-        }
-        runner.evict_trace(w);
-        eprintln!("done {w}");
     }
 
-    // Regular suite side.
+    // Regular suite side (separate trace universe; traces are memoized so
+    // each is recorded once across the whole tau sweep).
     let mut reg_speedups: Vec<Vec<f64>> = vec![Vec::new(); taus.len()];
     for kind in RegularKind::ALL {
         let base = runner.run_regular_on(
@@ -42,14 +50,13 @@ fn main() {
             Box::new(simcore::BaselineHierarchy::new(&simcore::SystemConfig::baseline(1))),
         );
         for (i, &tau) in taus.iter().enumerate() {
-            let cfg = SdcLpConfig {
-                lp: LpConfig { tau_glob: tau, ..runner.sdclp.lp },
-                ..runner.sdclp
-            };
+            let cfg =
+                SdcLpConfig { lp: LpConfig { tau_glob: tau, ..runner.sdclp.lp }, ..runner.sdclp };
             let sys = Box::new(sdclp::sdclp_system(&simcore::SystemConfig::baseline(1), cfg));
             let res = runner.run_regular_on(kind, sys);
             reg_speedups[i].push(res.speedup_over(&base));
         }
+        runner.evict_regular_trace(kind);
         eprintln!("done regular {kind}");
     }
 

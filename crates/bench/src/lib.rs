@@ -5,8 +5,9 @@
 //! text-table rendering they use.
 
 use gpgraph::SuiteScale;
-use gpworkloads::Runner;
+use gpworkloads::{MatrixOptions, Runner};
 use simcore::Window;
+use std::path::PathBuf;
 
 /// Command-line options shared by every figure binary.
 ///
@@ -14,12 +15,22 @@ use simcore::Window;
 /// * `--warmup N` / `--measure N` — window lengths in instructions.
 /// * `--quick` — shorthand for `--scale small --warmup 200000 --measure
 ///   800000` (fast sanity runs).
+/// * `--manifest PATH` — where sweep binaries stream their JSONL run
+///   manifests (default `results/manifests/<bin>.jsonl`).
+/// * `--no-manifest` — disable manifest output.
+///
+/// Replay parallelism is controlled by `RAYON_NUM_THREADS` (defaults to
+/// the machine's available parallelism).
 #[derive(Debug, Clone)]
 pub struct HarnessOpts {
     pub scale: SuiteScale,
     pub window: Window,
     /// Restrict to workloads whose name contains this substring.
     pub only: Option<String>,
+    /// Explicit manifest path (overrides the per-binary default).
+    pub manifest: Option<PathBuf>,
+    /// Suppress manifest output entirely.
+    pub no_manifest: bool,
 }
 
 impl Default for HarnessOpts {
@@ -28,6 +39,8 @@ impl Default for HarnessOpts {
             scale: SuiteScale::Full,
             window: Window::new(2_000_000, 8_000_000),
             only: None,
+            manifest: None,
+            no_manifest: false,
         }
     }
 }
@@ -74,7 +87,13 @@ impl HarnessOpts {
                 "--only" => {
                     opts.only = Some(it.next().expect("--only needs a substring"));
                 }
-                other => panic!("unknown argument {other:?} (try --quick / --scale / --warmup / --measure / --only)"),
+                "--manifest" => {
+                    opts.manifest = Some(it.next().expect("--manifest needs a path").into());
+                }
+                "--no-manifest" => {
+                    opts.no_manifest = true;
+                }
+                other => panic!("unknown argument {other:?} (try --quick / --scale / --warmup / --measure / --only / --manifest / --no-manifest)"),
             }
         }
         opts.window = Window::new(
@@ -96,6 +115,33 @@ impl HarnessOpts {
     /// Does a workload name pass the `--only` filter?
     pub fn selected(&self, name: &str) -> bool {
         self.only.as_deref().is_none_or(|s| name.contains(s))
+    }
+
+    /// Matrix-executor options for a sweep named `tag` (usually the binary
+    /// name; binaries running several sweeps pass distinct tags so later
+    /// sweeps don't truncate earlier manifests). Progress lines and
+    /// trace/graph eviction are always on for harness runs.
+    pub fn matrix_options(&self, tag: &str) -> MatrixOptions {
+        let mut m = MatrixOptions::harness();
+        if !self.no_manifest {
+            m.manifest_path = Some(match &self.manifest {
+                Some(path) if tag.is_empty() => path.clone(),
+                Some(path) => {
+                    // With several sweeps per binary, derive per-tag files
+                    // from the explicit path: results.jsonl -> results-tag.jsonl.
+                    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("manifest");
+                    let ext = path.extension().and_then(|s| s.to_str()).unwrap_or("jsonl");
+                    path.with_file_name(format!("{stem}-{tag}.{ext}"))
+                }
+                None => PathBuf::from(format!("results/manifests/{tag}.jsonl")),
+            });
+        }
+        m
+    }
+
+    /// The workloads passing `--only`, in suite order.
+    pub fn workloads(&self) -> Vec<gpworkloads::Workload> {
+        gpworkloads::all_workloads().into_iter().filter(|w| self.selected(&w.name())).collect()
     }
 }
 
@@ -155,6 +201,7 @@ pub fn pct(ratio: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     #[test]
     fn parse_defaults_to_full_scale() {
@@ -184,6 +231,23 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn parse_rejects_unknown() {
         HarnessOpts::parse(vec!["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn manifest_flags_control_matrix_options() {
+        let o = HarnessOpts::parse(Vec::<String>::new());
+        let m = o.matrix_options("fig7");
+        assert_eq!(m.manifest_path.as_deref(), Some(Path::new("results/manifests/fig7.jsonl")));
+        assert!(m.progress && m.evict);
+
+        let o = HarnessOpts::parse(vec!["--manifest".into(), "out/run.jsonl".into()]);
+        assert_eq!(
+            o.matrix_options("ablation2").manifest_path.as_deref(),
+            Some(Path::new("out/run-ablation2.jsonl"))
+        );
+
+        let o = HarnessOpts::parse(vec!["--no-manifest".to_string()]);
+        assert_eq!(o.matrix_options("fig7").manifest_path, None);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! addresses.
 
 use crate::config::SdcLpConfig;
-use simcore::block::{BLOCK_BYTES, PHYS_ADDR_BITS, BLOCK_BITS};
+use simcore::block::{BLOCK_BITS, BLOCK_BYTES, PHYS_ADDR_BITS};
 
 /// One row of Table IV.
 #[derive(Debug, Clone, Copy, PartialEq)]

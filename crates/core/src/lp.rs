@@ -58,8 +58,22 @@ pub struct LargePredictor {
 
 impl LargePredictor {
     pub fn new(cfg: LpConfig) -> Self {
-        assert!(cfg.ways > 0 && cfg.entries.is_multiple_of(cfg.ways), "entries must divide by ways");
+        assert!(
+            cfg.ways > 0 && cfg.entries.is_multiple_of(cfg.ways),
+            "entries must divide by ways"
+        );
         let sets = cfg.entries / cfg.ways;
+        // The tag is the PC with the set-index bits shifted off, so the set
+        // count must be a power of two: with e.g. 6 sets, `pc % 6` and
+        // `pc >> 1` would let distinct PCs collide on the same (set, tag)
+        // and silently share one accumulator.
+        assert!(
+            sets.is_power_of_two(),
+            "LP set count must be a power of two (entries {} / ways {} = {} sets)",
+            cfg.entries,
+            cfg.ways,
+            sets
+        );
         LargePredictor {
             cfg,
             sets,
@@ -75,7 +89,7 @@ impl LargePredictor {
 
     #[inline]
     fn set_of(&self, pc: u64) -> usize {
-        (pc % self.sets as u64) as usize
+        (pc & (self.sets as u64 - 1)) as usize
     }
 
     #[inline]
@@ -261,6 +275,42 @@ mod tests {
         }
         assert_eq!(p.predict_and_train(100, 50), Route::Hierarchy);
         assert_eq!(p.predict_and_train(200, 99 * 50_000), Route::Sdc);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_set_count_is_rejected() {
+        // 24 entries / 4 ways = 6 sets: set index (mod) and tag (shift)
+        // would disagree, aliasing distinct PCs onto one accumulator.
+        let _ = LargePredictor::new(LpConfig { entries: 24, ways: 4, tau_glob: 8 });
+    }
+
+    #[test]
+    fn same_set_pcs_never_share_an_entry() {
+        // 4 sets: PCs 3, 7, 11, ... all land in set 3 but carry distinct
+        // tags. Train PC 3 with huge strides and its set neighbors with
+        // stride 1; the neighbors must not inherit PC 3's accumulator.
+        let mut p = lp();
+        for i in 0..20u64 {
+            p.predict_and_train(3, i * 100_000);
+            p.predict_and_train(7, 5000 + i);
+        }
+        assert_eq!(p.predict_and_train(3, 0), Route::Sdc);
+        assert_eq!(p.predict_and_train(7, 5020), Route::Hierarchy);
+        assert!(p.accumulator_of(7).unwrap() <= 1);
+    }
+
+    #[test]
+    fn fully_associative_table_works() {
+        // sets = 1 (fig. 11 configuration): every PC shares the set, tag is
+        // the whole PC.
+        let mut p = LargePredictor::new(LpConfig { entries: 8, ways: 8, tau_glob: 8 });
+        for pc in 0..8u64 {
+            p.predict_and_train(pc, 0);
+        }
+        for pc in 0..8u64 {
+            assert_eq!(p.accumulator_of(pc), Some(0), "pc {pc} evicted prematurely");
+        }
     }
 
     #[test]

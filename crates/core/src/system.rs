@@ -12,7 +12,9 @@ use crate::sdcdir::SdcDir;
 use simcore::block::{block_of, BLOCK_BITS};
 use simcore::cache::{Cache, LookupResult};
 use simcore::config::SystemConfig;
-use simcore::hierarchy::{AccessOutcome, CoreMemory, CoreSide, ServedBy, SharedBackend, SingleCore};
+use simcore::hierarchy::{
+    AccessOutcome, CoreMemory, CoreSide, ServedBy, SharedBackend, SingleCore,
+};
 use simcore::mshr::{MshrFile, MshrOutcome};
 use simcore::prefetch::{NextLine, Prefetcher};
 use simcore::replacement::ReplCtx;
@@ -88,7 +90,14 @@ impl<R: Router> SdcCore<R> {
     }
 
     /// The SDC's next-line prefetcher (Table I).
-    fn sdc_prefetch(&mut self, pc: u16, block: u64, hit: bool, backend: &mut SharedBackend, now: u64) {
+    fn sdc_prefetch(
+        &mut self,
+        pc: u16,
+        block: u64,
+        hit: bool,
+        backend: &mut SharedBackend,
+        now: u64,
+    ) {
         let mut buf = std::mem::take(&mut self.pf_buf);
         buf.clear();
         self.sdc_prefetcher.on_access(pc, block, hit, &mut buf);
@@ -368,11 +377,7 @@ mod tests {
         }
         let s = sys.collect_stats();
         // After training, LLC fills should be far fewer than SDC-path accesses.
-        assert!(
-            s.llc.fills < 100,
-            "LLC fills = {} despite bypassing",
-            s.llc.fills
-        );
+        assert!(s.llc.fills < 100, "LLC fills = {} despite bypassing", s.llc.fills);
     }
 
     #[test]

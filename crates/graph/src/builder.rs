@@ -121,11 +121,7 @@ mod tests {
     #[test]
     fn no_dedup_preserves_multiplicity() {
         let edges = vec![(0, 1), (0, 1)];
-        let g = build_csr(
-            2,
-            &edges,
-            BuildOptions { sort_and_dedup: false, ..Default::default() },
-        );
+        let g = build_csr(2, &edges, BuildOptions { sort_and_dedup: false, ..Default::default() });
         assert_eq!(g.num_edges(), 2);
     }
 

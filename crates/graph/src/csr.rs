@@ -112,7 +112,8 @@ impl Csr {
     /// Are every vertex's neighbor lists sorted ascending? (Required by the
     /// triangle-counting kernel.)
     pub fn is_sorted(&self) -> bool {
-        (0..self.num_vertices() as VertexId).all(|v| self.neighbors(v).windows(2).all(|w| w[0] <= w[1]))
+        (0..self.num_vertices() as VertexId)
+            .all(|v| self.neighbors(v).windows(2).all(|w| w[0] <= w[1]))
     }
 }
 

@@ -38,7 +38,8 @@ impl DegreeStats {
 
         let mut histogram = vec![0usize; 64 - (max.max(1) as u64).leading_zeros() as usize + 1];
         for &d in &degrees {
-            let bucket = if d == 0 { 0 } else { usize::BITS as usize - 1 - d.leading_zeros() as usize };
+            let bucket =
+                if d == 0 { 0 } else { usize::BITS as usize - 1 - d.leading_zeros() as usize };
             histogram[bucket] += 1;
         }
 

@@ -151,22 +151,13 @@ mod tests {
     fn power_law_skew() {
         let g = chung_lu(4096, 16, params(), 17);
         let stats = DegreeStats::of(&g);
-        assert!(
-            stats.max as f64 > 10.0 * stats.avg,
-            "max {} vs avg {}",
-            stats.max,
-            stats.avg
-        );
+        assert!(stats.max as f64 > 10.0 * stats.avg, "max {} vs avg {}", stats.max, stats.avg);
     }
 
     #[test]
     fn locality_moves_edges_close() {
-        let local = chung_lu(
-            4096,
-            8,
-            ChungLuParams { theta: 0.4, locality: 0.8, locality_window: 64 },
-            5,
-        );
+        let local =
+            chung_lu(4096, 8, ChungLuParams { theta: 0.4, locality: 0.8, locality_window: 64 }, 5);
         let global = chung_lu(4096, 8, params(), 5);
         let mean_dist = |g: &Csr| -> f64 {
             let mut sum = 0.0;

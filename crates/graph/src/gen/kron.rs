@@ -67,12 +67,7 @@ mod tests {
         let g = kron(13, 16, 7);
         let stats = DegreeStats::of(&g);
         // R-MAT: the max degree dwarfs the average (power-law-ish tail).
-        assert!(
-            stats.max as f64 > 20.0 * stats.avg,
-            "max {} vs avg {}",
-            stats.max,
-            stats.avg
-        );
+        assert!(stats.max as f64 > 20.0 * stats.avg, "max {} vs avg {}", stats.max, stats.avg);
     }
 
     #[test]

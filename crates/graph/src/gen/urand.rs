@@ -36,12 +36,7 @@ mod tests {
         let g = urand(4096, 16, 9);
         let stats = DegreeStats::of(&g);
         // Binomial concentration: max degree within a few x of the mean.
-        assert!(
-            (stats.max as f64) < 4.0 * stats.avg,
-            "max {} vs avg {}",
-            stats.max,
-            stats.avg
-        );
+        assert!((stats.max as f64) < 4.0 * stats.avg, "max {} vs avg {}", stats.max, stats.avg);
         assert!(stats.avg > 16.0, "avg degree {}", stats.avg);
     }
 

@@ -58,8 +58,7 @@ mod tests {
 
     #[test]
     fn transpose_preserves_edge_count() {
-        let edges: Vec<(u32, u32)> =
-            (0..200).map(|i| ((i * 7) % 50, (i * 13 + 3) % 50)).collect();
+        let edges: Vec<(u32, u32)> = (0..200).map(|i| ((i * 7) % 50, (i * 13 + 3) % 50)).collect();
         let g = build_csr(50, &edges, BuildOptions::default());
         let t = transpose(&g);
         assert_eq!(g.num_edges(), t.num_edges());

@@ -43,7 +43,12 @@ pub struct BfsResult {
 const PULL_THRESHOLD: f64 = 0.05;
 
 /// Run direction-optimizing BFS from `source`.
-pub fn bfs<T: Tracer + ?Sized>(input: &KernelInput, asid: u8, source: VertexId, t: &mut T) -> BfsResult {
+pub fn bfs<T: Tracer + ?Sized>(
+    input: &KernelInput,
+    asid: u8,
+    source: VertexId,
+    t: &mut T,
+) -> BfsResult {
     let g = &input.csr;
     let gin = &input.csc;
     let n = g.num_vertices();
@@ -192,8 +197,7 @@ mod tests {
     fn reached_counts_component_size() {
         let input = KernelInput::from_symmetric(gpgraph::gen::urand(500, 8, 7));
         let result = bfs(&input, 0, input.default_source(), &mut NullTracer::new());
-        let reachable =
-            result.parent.iter().filter(|&&p| p != UNVISITED).count();
+        let reachable = result.parent.iter().filter(|&&p| p != UNVISITED).count();
         assert_eq!(result.reached, reachable);
         assert!(result.reached > 400, "random graph should be mostly connected");
     }

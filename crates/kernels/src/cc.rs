@@ -31,7 +31,11 @@ pub struct CcResult {
 }
 
 /// Run Shiloach–Vishkin connected components.
-pub fn connected_components<T: Tracer + ?Sized>(input: &KernelInput, asid: u8, t: &mut T) -> CcResult {
+pub fn connected_components<T: Tracer + ?Sized>(
+    input: &KernelInput,
+    asid: u8,
+    t: &mut T,
+) -> CcResult {
     let g = &input.csr;
     let n = g.num_vertices();
     let oracle = input.oracle();
@@ -59,12 +63,7 @@ pub fn connected_components<T: Tracer + ?Sized>(input: &KernelInput, asid: u8, t
             for i in lo..hi {
                 let v = g.neighbor_at(i);
                 na.load(t, pc::NA_LOAD, i);
-                comp_arr.load_hinted(
-                    t,
-                    pc::COMP_V,
-                    v as u64,
-                    oracle.hint(rounds - 1, i as u32, v),
-                );
+                comp_arr.load_hinted(t, pc::COMP_V, v as u64, oracle.hint(rounds - 1, i as u32, v));
                 t.bubble(mix::EDGE);
                 let (cu, cv) = (comp[u as usize], comp[v as usize]);
                 if cv < cu {

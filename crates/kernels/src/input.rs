@@ -43,9 +43,7 @@ impl KernelInput {
     /// Deterministic traversal source: the highest-out-degree vertex
     /// (guaranteed non-isolated on any graph with edges).
     pub fn default_source(&self) -> VertexId {
-        (0..self.num_vertices() as VertexId)
-            .max_by_key(|&v| self.csr.degree(v))
-            .unwrap_or(0)
+        (0..self.num_vertices() as VertexId).max_by_key(|&v| self.csr.degree(v)).unwrap_or(0)
     }
 }
 

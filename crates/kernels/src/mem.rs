@@ -137,6 +137,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "out of bounds")]
+    #[cfg(debug_assertions)] // `addr` bounds-checks via debug_assert! only
     fn oob_index_caught_in_debug() {
         let mut space = AddressSpace::new(0);
         let a = space.alloc(sid::PROP_A, 4, 10);

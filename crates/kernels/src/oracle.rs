@@ -66,10 +66,7 @@ impl NextUseOracle {
         if first == NONE {
             return NONE;
         }
-        (sweep + 1)
-            .checked_mul(self.edges)
-            .and_then(|b| b.checked_add(first))
-            .unwrap_or(NONE)
+        (sweep + 1).checked_mul(self.edges).and_then(|b| b.checked_add(first)).unwrap_or(NONE)
     }
 }
 

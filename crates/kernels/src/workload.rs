@@ -93,7 +93,14 @@ pub mod params {
 pub fn run_kernel<T: Tracer + ?Sized>(kernel: Kernel, input: &KernelInput, asid: u8, t: &mut T) {
     match kernel {
         Kernel::Pr => {
-            pr::pagerank(input, asid, params::PR_DAMPING, params::PR_EPSILON, params::PR_MAX_ITERS, t);
+            pr::pagerank(
+                input,
+                asid,
+                params::PR_DAMPING,
+                params::PR_EPSILON,
+                params::PR_MAX_ITERS,
+                t,
+            );
         }
         Kernel::Bfs => {
             bfs::bfs(input, asid, input.default_source(), t);

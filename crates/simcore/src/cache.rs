@@ -146,14 +146,7 @@ impl Cache {
             None => {
                 let w = self.policy.victim(set);
                 let old = self.lines[base + w];
-                (
-                    w,
-                    Some(Eviction {
-                        block: old.tag,
-                        dirty: old.dirty,
-                        used_words: old.used_words,
-                    }),
-                )
+                (w, Some(Eviction { block: old.tag, dirty: old.dirty, used_words: old.used_words }))
             }
         };
         if prefetched {

@@ -178,7 +178,10 @@ impl Directory {
         for (&block, e) in &self.entries {
             match e.state {
                 DirState::Modified if e.sharers.count_ones() != 1 => {
-                    return Err(format!("block {block}: Modified with {} sharers", e.sharers.count_ones()));
+                    return Err(format!(
+                        "block {block}: Modified with {} sharers",
+                        e.sharers.count_ones()
+                    ));
                 }
                 DirState::Shared if e.sharers == 0 => {
                     return Err(format!("block {block}: Shared with no sharers"));

@@ -139,7 +139,13 @@ impl DistillCache {
     }
 
     /// Fill a line into the LOC, distilling any victim.
-    pub fn fill(&mut self, addr: u64, block: u64, is_write: bool, ctx: ReplCtx) -> Option<Eviction> {
+    pub fn fill(
+        &mut self,
+        addr: u64,
+        block: u64,
+        is_write: bool,
+        ctx: ReplCtx,
+    ) -> Option<Eviction> {
         let ev = self.loc.fill(addr, block, is_write, false, ctx);
         if let Some(e) = &ev {
             self.distill(e);

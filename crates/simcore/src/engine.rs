@@ -192,12 +192,7 @@ mod tests {
             cold.bubble(3);
         }
         let cold_r = cold.finish();
-        assert!(
-            cold_r.cycles > 3 * hot_r.cycles,
-            "cold {} vs hot {}",
-            cold_r.cycles,
-            hot_r.cycles
-        );
+        assert!(cold_r.cycles > 3 * hot_r.cycles, "cold {} vs hot {}", cold_r.cycles, hot_r.cycles);
     }
 
     #[test]

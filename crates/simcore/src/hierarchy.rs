@@ -174,10 +174,18 @@ impl SharedBackend {
         Self::with_llc(cfg, LlcModel::Normal(Cache::new(&cfg.llc)))
     }
 
-    /// Backend with the Line Distillation LLC: 3 of the ways become the
-    /// word-organized cache, keeping total capacity identical.
+    /// Backend with the Line Distillation LLC: up to 3 of the ways become
+    /// the word-organized cache, keeping total capacity identical. Narrow
+    /// LLCs donate fewer ways so at least one line-organized way remains
+    /// (`ways - 3` would wrap for associativities of 3 or less).
     pub fn new_distill(cfg: &SystemConfig) -> Self {
-        let loc_ways = cfg.llc.ways - 3;
+        assert!(
+            cfg.llc.ways >= 2,
+            "Line Distillation needs an LLC with at least 2 ways (got {})",
+            cfg.llc.ways
+        );
+        let woc_ways = 3.min(cfg.llc.ways - 1);
+        let loc_ways = cfg.llc.ways - woc_ways;
         Self::with_llc(cfg, LlcModel::Distill(DistillCache::new(&cfg.llc, loc_ways)))
     }
 
@@ -331,7 +339,14 @@ impl CoreSide {
         }
     }
 
-    fn l1_prefetch(&mut self, pc: u16, block: u64, hit: bool, backend: &mut SharedBackend, now: u64) {
+    fn l1_prefetch(
+        &mut self,
+        pc: u16,
+        block: u64,
+        hit: bool,
+        backend: &mut SharedBackend,
+        now: u64,
+    ) {
         let mut buf = std::mem::take(&mut self.pf_buf);
         buf.clear();
         self.l1_prefetcher.on_access(pc, block, hit, &mut buf);
@@ -365,7 +380,14 @@ impl CoreSide {
         self.pf_buf = buf;
     }
 
-    fn l2_prefetch(&mut self, pc: u16, block: u64, hit: bool, backend: &mut SharedBackend, now: u64) {
+    fn l2_prefetch(
+        &mut self,
+        pc: u16,
+        block: u64,
+        hit: bool,
+        backend: &mut SharedBackend,
+        now: u64,
+    ) {
         let mut buf = std::mem::take(&mut self.pf_buf);
         buf.clear();
         self.l2_prefetcher.on_access(pc, block, hit, &mut buf);
@@ -452,8 +474,7 @@ impl CoreMemory for CoreSide {
         if self.victim.is_some() {
             let taken = self.victim.as_mut().unwrap().take(block);
             if let Some(was_dirty) = taken {
-                if let Some(ev) =
-                    self.l1d.fill(r.addr, block, was_dirty || r.is_write, false, ctx)
+                if let Some(ev) = self.l1d.fill(r.addr, block, was_dirty || r.is_write, false, ctx)
                 {
                     self.handle_l1_eviction(ev, backend, t_l1_done);
                 }
@@ -633,6 +654,31 @@ mod tests {
         assert_eq!(out.served_by, ServedBy::Dram);
         let out2 = sys.access(&read(0x70000), out.completion);
         assert_eq!(out2.served_by, ServedBy::L1d);
+    }
+
+    #[test]
+    fn distill_clamps_woc_ways_for_narrow_llcs() {
+        // `ways - 3` used to wrap for associativities <= 3; narrow LLCs now
+        // donate fewer ways and must still construct and serve accesses.
+        for ways in [2usize, 3, 4, 16] {
+            let mut cfg = SystemConfig::baseline(1);
+            cfg.l1d.prefetcher = PrefetcherKind::None;
+            cfg.l2c.prefetcher = PrefetcherKind::None;
+            cfg.llc.ways = ways;
+            let mut sys = BaselineHierarchy::new_distill(&cfg);
+            let out = sys.access(&read(0x70000), 0);
+            assert_eq!(out.served_by, ServedBy::Dram, "ways={ways}");
+            let out2 = sys.access(&read(0x70000), out.completion);
+            assert_eq!(out2.served_by, ServedBy::L1d, "ways={ways}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ways")]
+    fn distill_rejects_direct_mapped_llc() {
+        let mut cfg = SystemConfig::baseline(1);
+        cfg.llc.ways = 1;
+        let _ = SharedBackend::new_distill(&cfg);
     }
 
     #[test]

@@ -39,15 +39,15 @@ pub mod replacement;
 pub mod rob;
 pub mod stats;
 pub mod tlb;
-pub mod victim;
 pub mod trace;
 pub mod trace_io;
+pub mod victim;
 
 pub use config::SystemConfig;
 pub use engine::{Engine, Window};
 pub use hierarchy::{
-    AccessOutcome, BaselineHierarchy, CoreMemory, CoreSide, MemorySystem, ServedBy,
-    SharedBackend, SingleCore,
+    AccessOutcome, BaselineHierarchy, CoreMemory, CoreSide, MemorySystem, ServedBy, SharedBackend,
+    SingleCore,
 };
 pub use multicore::{weighted_ipc, MulticoreEngine};
 pub use stats::{geomean, SimResult};

@@ -35,12 +35,7 @@ pub struct MshrFile {
 impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs at least one entry");
-        MshrFile {
-            entries: Vec::with_capacity(capacity),
-            capacity,
-            merges: 0,
-            stall_cycles: 0,
-        }
+        MshrFile { entries: Vec::with_capacity(capacity), capacity, merges: 0, stall_cycles: 0 }
     }
 
     pub fn capacity(&self) -> usize {

@@ -78,9 +78,8 @@ impl<C: CoreMemory> MulticoreEngine<C> {
             })
             .collect();
         // Advance the unfinished core with the smallest local cycle.
-        while let Some(cid) = (0..n)
-            .filter(|&i| !cores[i].finished)
-            .min_by_key(|&i| cores[i].rob.current_cycle())
+        while let Some(cid) =
+            (0..n).filter(|&i| !cores[i].finished).min_by_key(|&i| cores[i].rob.current_cycle())
         {
             let core = &mut cores[cid];
             let trace = traces[cid];
@@ -102,8 +101,9 @@ impl<C: CoreMemory> MulticoreEngine<C> {
             }
 
             // Warmup boundary: reset this core's private stats.
-            if !core.measuring && before < self.window.warmup && core.instrs >= self.window.warmup
-            {
+            let crossed_warmup =
+                !core.measuring && before < self.window.warmup && core.instrs >= self.window.warmup;
+            if crossed_warmup {
                 core.measuring = true;
                 core.measure_start_cycle = core.rob.current_cycle();
                 self.mems[cid].reset_stats();
@@ -116,15 +116,25 @@ impl<C: CoreMemory> MulticoreEngine<C> {
                 core.result_cycles = end.saturating_sub(core.measure_start_cycle).max(1);
                 core.result_instrs = core.instrs - self.window.warmup.min(core.instrs);
             }
+
+            // Once the last core crosses warmup, reset the shared backend so
+            // LLC/DRAM counters cover only the measured region.
+            if crossed_warmup && cores.iter().all(|c| c.measuring) {
+                self.backend.reset_stats();
+            }
         }
 
+        // Each per-core result carries the shared LLC/DRAM counters (they
+        // describe the whole machine, so every core reports the same
+        // backend numbers — previously they were silently dropped).
         cores
             .iter()
             .enumerate()
-            .map(|(i, c)| SimResult {
-                instructions: c.result_instrs,
-                cycles: c.result_cycles,
-                stats: self.mems[i].collect_core_stats(),
+            .map(|(i, c)| {
+                let mut stats = self.mems[i].collect_core_stats();
+                stats.llc = *self.backend.llc.stats();
+                stats.dram = self.backend.dram.stats;
+                SimResult { instructions: c.result_instrs, cycles: c.result_cycles, stats }
             })
             .collect()
     }
@@ -180,7 +190,8 @@ mod tests {
             (0..4).map(|i| make_trace(i + 1, 20_000, 100_000)).collect();
         let refs: Vec<&CompactTrace> = traces.iter().collect();
         let mems: Vec<CoreSide> = (0..4).map(|_| CoreSide::new(&cfg)).collect();
-        let engine = MulticoreEngine::new(mems, SharedBackend::new(&cfg), Window::new(2000, 18_000));
+        let engine =
+            MulticoreEngine::new(mems, SharedBackend::new(&cfg), Window::new(2000, 18_000));
         let results = engine.run(&refs, 4, 224);
         assert_eq!(results.len(), 4);
         for r in &results {
@@ -215,13 +226,39 @@ mod tests {
         assert!(ws <= 4.0 + 1e-9, "weighted IPC cannot exceed core count, got {ws}");
         assert!(ws > 0.5, "weighted IPC suspiciously low: {ws}");
         for (sh, si) in shared.iter().zip(&singles) {
-            assert!(
-                sh.ipc() <= si.ipc() * 1.05,
-                "shared {} vs single {}",
-                sh.ipc(),
-                si.ipc()
-            );
+            assert!(sh.ipc() <= si.ipc() * 1.05, "shared {} vs single {}", sh.ipc(), si.ipc());
         }
+    }
+
+    #[test]
+    fn results_carry_shared_backend_stats() {
+        let cfg = cfg();
+        // Footprint far beyond the private caches so the LLC and DRAM see
+        // real traffic during measurement.
+        let traces: Vec<CompactTrace> =
+            (0..2).map(|i| make_trace(i + 9, 20_000, 4_000_000)).collect();
+        let refs: Vec<&CompactTrace> = traces.iter().collect();
+        let mems: Vec<CoreSide> = (0..2).map(|_| CoreSide::new(&cfg)).collect();
+        let results =
+            MulticoreEngine::new(mems, SharedBackend::new(&cfg), Window::new(2000, 18_000))
+                .run(&refs, 4, 224);
+        for (i, r) in results.iter().enumerate() {
+            assert!(r.stats.llc.accesses > 0, "core {i} lost shared LLC stats");
+            assert!(r.stats.dram.reads > 0, "core {i} lost shared DRAM stats");
+        }
+        // The backend is shared: every core reports the same machine-wide
+        // counters.
+        assert_eq!(results[0].stats.llc.accesses, results[1].stats.llc.accesses);
+        assert_eq!(results[0].stats.dram.reads, results[1].stats.dram.reads);
+        // Backend counters were reset at the warmup boundary, so they
+        // cannot exceed what the private caches let through plus writebacks.
+        let total_l2_misses: u64 = results.iter().map(|r| r.stats.l2c.misses).sum();
+        assert!(
+            results[0].stats.llc.accesses <= total_l2_misses * 2,
+            "LLC accesses {} look unreset (l2 misses {})",
+            results[0].stats.llc.accesses,
+            total_l2_misses
+        );
     }
 
     #[test]

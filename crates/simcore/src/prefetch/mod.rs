@@ -6,8 +6,8 @@ mod spp;
 mod stride;
 
 pub use next_line::NextLine;
-pub use stride::StridePrefetcher;
 pub use spp::{Spp, SppConfig};
+pub use stride::StridePrefetcher;
 
 use crate::config::PrefetcherKind;
 

@@ -41,8 +41,7 @@ impl NextLine {
 impl Prefetcher for NextLine {
     fn on_access(&mut self, pc: u16, block: u64, _hit: bool, out: &mut Vec<u64>) {
         let slot = &mut self.table[pc as usize % TABLE_SIZE];
-        let streaming =
-            slot.valid && slot.pc == pc && block.wrapping_sub(slot.last_block) <= 1;
+        let streaming = slot.valid && slot.pc == pc && block.wrapping_sub(slot.last_block) <= 1;
         *slot = Entry { pc, last_block: block, valid: true };
         if streaming {
             out.push(block + 1);

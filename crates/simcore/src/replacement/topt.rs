@@ -43,12 +43,7 @@ pub struct TOpt {
 
 impl TOpt {
     pub fn new(sets: usize, ways: usize) -> Self {
-        TOpt {
-            ways,
-            next_use: vec![NEVER; sets * ways],
-            stamps: vec![0; sets * ways],
-            clock: 0,
-        }
+        TOpt { ways, next_use: vec![NEVER; sets * ways], stamps: vec![0; sets * ways], clock: 0 }
     }
 
     fn predicted(ctx: ReplCtx) -> u64 {

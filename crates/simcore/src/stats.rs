@@ -5,7 +5,7 @@ use serde::Serialize;
 use std::collections::HashMap;
 
 /// Counters for one cache level.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct CacheStats {
     /// Demand accesses (loads + stores reaching this level).
     pub accesses: u64,
@@ -61,7 +61,7 @@ impl CacheStats {
 }
 
 /// Counters for the DRAM model.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct DramStats {
     pub reads: u64,
     pub writes: u64,
@@ -100,7 +100,7 @@ impl DramStats {
 }
 
 /// Aggregated statistics for one simulated core's memory system.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct HierStats {
     pub l1d: CacheStats,
     pub l2c: CacheStats,
@@ -127,7 +127,7 @@ impl HierStats {
 }
 
 /// The final result of simulating one workload window on one configuration.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct SimResult {
     /// Instructions in the measurement window.
     pub instructions: u64,
@@ -216,7 +216,7 @@ pub fn stride_bucket(stride: u64) -> usize {
 }
 
 /// Per-bucket counts of accesses and of accesses served by DRAM.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct StrideProfile {
     pub accesses: [u64; STRIDE_BUCKETS],
     pub dram_served: [u64; STRIDE_BUCKETS],

@@ -61,7 +61,10 @@ fn validate(trace: &CompactTrace) -> io::Result<()> {
     if counted != trace.instructions {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("trace header says {} instructions, events sum to {counted}", trace.instructions),
+            format!(
+                "trace header says {} instructions, events sum to {counted}",
+                trace.instructions
+            ),
         ));
     }
     Ok(())

@@ -32,7 +32,11 @@ pub struct DisplacedDirty {
 impl VictimCache {
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0);
-        VictimCache { lines: vec![Line::default(); entries], clock: 0, stats: CacheStats::default() }
+        VictimCache {
+            lines: vec![Line::default(); entries],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     pub fn entries(&self) -> usize {

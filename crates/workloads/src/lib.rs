@@ -6,12 +6,14 @@
 //! a trace-caching [`Runner`] that makes every comparison input-identical.
 
 pub mod configs;
+pub mod matrix;
 pub mod multicore;
 pub mod regular;
 pub mod runner;
 pub mod singlecore;
 
 pub use configs::{build_multicore, build_system, SystemKind};
+pub use matrix::{cross, MatrixOptions, MatrixPoint, RunManifest, RunRecord, SystemSpec};
 pub use multicore::{generate_mixes, paper_mixes, Mix, MulticoreRunner, MIX_WIDTH};
 pub use regular::{run_regular, RegularKind};
 pub use runner::Runner;

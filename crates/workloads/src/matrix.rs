@@ -1,0 +1,427 @@
+//! Parallel sweep executor with run manifests.
+//!
+//! Every harness binary ultimately evaluates a *matrix* of (workload,
+//! system) points. This module runs such a matrix on a thread pool with
+//! workload-outer sharding — each workload's trace is recorded once
+//! (memoized behind the [`Runner`] caches), all of its system points replay
+//! serially on one worker, and the trace (plus the graph, once no other
+//! workload needs it) is evicted as soon as the shard finishes, bounding
+//! peak memory to roughly `threads x trace` instead of `workloads x trace`.
+//!
+//! Replay itself is deterministic and side-effect-free per point (each
+//! point gets a fresh engine over an immutable trace), so the parallel
+//! results are byte-identical to sequential [`Runner::run_one`] calls —
+//! `tests` below pins that property.
+//!
+//! Each completed point yields a [`RunRecord`]: the [`SimResult`] plus a
+//! serializable [`RunManifest`] (workload, system, config hash, window,
+//! skip, trace length, wall-clock seconds). Manifests can be streamed to a
+//! JSONL file for post-processing; a progress line per completed point goes
+//! to stderr.
+
+use crate::configs::{build_system, SystemKind};
+use crate::runner::Runner;
+use crate::singlecore::Workload;
+use gpgraph::GraphInput;
+use gpkernels::Kernel;
+use parking_lot::Mutex;
+use serde::Serialize;
+use simcore::hierarchy::MemorySystem;
+use simcore::SimResult;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How a matrix point's memory system is built.
+#[derive(Clone)]
+pub enum SystemSpec {
+    /// One of the seven named designs (Section IV-E).
+    Kind(SystemKind),
+    /// An arbitrary design-space point (config sweeps, ablations).
+    Custom {
+        /// Short display label, e.g. `tau=16`.
+        label: String,
+        /// Full configuration description (typically a `Debug` rendering);
+        /// hashed into the manifest's `config_hash`.
+        config: String,
+        /// Builds the system for a given kernel (the Expert design routes
+        /// per-kernel, so the kernel must flow through).
+        build: Arc<dyn Fn(Kernel) -> Box<dyn MemorySystem + Send> + Send + Sync>,
+    },
+}
+
+impl SystemSpec {
+    /// Convenience constructor for custom design points.
+    pub fn custom<F>(label: impl Into<String>, config: impl Into<String>, build: F) -> Self
+    where
+        F: Fn(Kernel) -> Box<dyn MemorySystem + Send> + Send + Sync + 'static,
+    {
+        SystemSpec::Custom { label: label.into(), config: config.into(), build: Arc::new(build) }
+    }
+
+    pub fn label(&self) -> String {
+        match self {
+            SystemSpec::Kind(k) => k.name().to_string(),
+            SystemSpec::Custom { label, .. } => label.clone(),
+        }
+    }
+
+    /// The named design this spec wraps, if any.
+    pub fn kind(&self) -> Option<SystemKind> {
+        match self {
+            SystemSpec::Kind(k) => Some(*k),
+            SystemSpec::Custom { .. } => None,
+        }
+    }
+
+    fn config_repr(&self, runner: &Runner) -> String {
+        match self {
+            // The kind itself is part of the repr: several designs share
+            // the same Table I SystemConfig and differ only structurally.
+            SystemSpec::Kind(k) => format!("{k:?} {:?} {:?}", k.system_config(1), runner.sdclp),
+            SystemSpec::Custom { config, .. } => config.clone(),
+        }
+    }
+
+    fn build(&self, kernel: Kernel, runner: &Runner) -> Box<dyn MemorySystem + Send> {
+        match self {
+            SystemSpec::Kind(k) => build_system(*k, kernel, &runner.sdclp),
+            SystemSpec::Custom { build, .. } => build(kernel),
+        }
+    }
+}
+
+/// One point of a sweep matrix.
+#[derive(Clone)]
+pub struct MatrixPoint {
+    pub workload: Workload,
+    pub system: SystemSpec,
+}
+
+impl MatrixPoint {
+    pub fn new(workload: Workload, system: SystemSpec) -> Self {
+        MatrixPoint { workload, system }
+    }
+}
+
+/// Serializable description of one completed run — one JSONL line.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunManifest {
+    /// Position of this point in the submitted matrix.
+    pub index: usize,
+    pub workload: String,
+    pub kernel: String,
+    pub graph: String,
+    pub system: String,
+    /// Hash of the full system configuration (and SDC+LP parameters), so
+    /// result files from different design points never silently mix.
+    pub config_hash: String,
+    pub scale: String,
+    pub warmup: u64,
+    pub measure: u64,
+    pub skip: u64,
+    pub trace_len: usize,
+    pub wall_seconds: f64,
+    pub instructions: u64,
+    pub cycles: u64,
+    pub ipc: f64,
+}
+
+/// A completed matrix point.
+#[derive(Clone)]
+pub struct RunRecord {
+    pub workload: Workload,
+    /// The named design, when the point used one.
+    pub kind: Option<SystemKind>,
+    pub label: String,
+    pub result: SimResult,
+    pub manifest: RunManifest,
+}
+
+/// Execution options for a matrix run.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixOptions {
+    /// Stream one JSON line per completed point to this file
+    /// (created/truncated; parent directories are created).
+    pub manifest_path: Option<PathBuf>,
+    /// Print a progress line per completed point to stderr.
+    pub progress: bool,
+    /// Evict each workload's trace (and each graph once every workload on
+    /// it is done) as shards finish, bounding peak memory.
+    pub evict: bool,
+}
+
+impl MatrixOptions {
+    /// The harness default: progress lines, eviction, no manifest file.
+    pub fn harness() -> Self {
+        MatrixOptions { manifest_path: None, progress: true, evict: true }
+    }
+
+    /// Quiet in-memory run (unit tests, library callers).
+    pub fn quiet() -> Self {
+        MatrixOptions::default()
+    }
+
+    pub fn with_manifest(mut self, path: impl Into<PathBuf>) -> Self {
+        self.manifest_path = Some(path.into());
+        self
+    }
+}
+
+/// Cross product helper: every workload on every system kind, workload-major
+/// (matching the sharding, so results chunk evenly by `kinds.len()`).
+pub fn cross(workloads: &[Workload], kinds: &[SystemKind]) -> Vec<(Workload, SystemKind)> {
+    workloads.iter().flat_map(|&w| kinds.iter().map(move |&k| (w, k))).collect()
+}
+
+fn hash_config(repr: &str) -> String {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    repr.hash(&mut h);
+    format!("{:016x}", h.finish())
+}
+
+impl Runner {
+    /// Run a matrix of (workload, system) points in parallel and return one
+    /// [`RunRecord`] per point, in input order. Progress and eviction
+    /// follow [`MatrixOptions::harness`]; use [`Runner::run_matrix_with`]
+    /// to control them or to stream a JSONL manifest.
+    pub fn run_matrix(&self, points: &[(Workload, SystemKind)]) -> Vec<RunRecord> {
+        self.run_matrix_with(points, &MatrixOptions::harness())
+    }
+
+    /// [`Runner::run_matrix`] with explicit options.
+    pub fn run_matrix_with(
+        &self,
+        points: &[(Workload, SystemKind)],
+        opts: &MatrixOptions,
+    ) -> Vec<RunRecord> {
+        let points: Vec<MatrixPoint> =
+            points.iter().map(|&(w, k)| MatrixPoint::new(w, SystemSpec::Kind(k))).collect();
+        self.run_matrix_points(&points, opts)
+    }
+
+    /// The general executor: arbitrary [`SystemSpec`]s per point (config
+    /// sweeps and ablations build their own systems).
+    pub fn run_matrix_points(
+        &self,
+        points: &[MatrixPoint],
+        opts: &MatrixOptions,
+    ) -> Vec<RunRecord> {
+        // Group point indices by workload, preserving first-appearance
+        // order; one shard per workload keeps its trace alive exactly as
+        // long as needed.
+        let mut shard_order: Vec<Workload> = Vec::new();
+        let mut shards: HashMap<Workload, Vec<usize>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            shards
+                .entry(p.workload)
+                .or_insert_with(|| {
+                    shard_order.push(p.workload);
+                    Vec::new()
+                })
+                .push(i);
+        }
+
+        // Graphs stay resident until their last workload shard completes.
+        let mut graph_pending: HashMap<GraphInput, usize> = HashMap::new();
+        for &w in &shard_order {
+            *graph_pending.entry(w.graph).or_insert(0) += 1;
+        }
+        let graph_pending = Mutex::new(graph_pending);
+
+        let sink = opts.manifest_path.as_ref().map(|path| {
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).expect("create manifest directory");
+            }
+            Mutex::new(std::io::BufWriter::new(
+                std::fs::File::create(path).expect("create manifest file"),
+            ))
+        });
+
+        let results: Vec<Mutex<Option<RunRecord>>> =
+            points.iter().map(|_| Mutex::new(None)).collect();
+        let completed = AtomicUsize::new(0);
+        let total = points.len();
+
+        rayon::scope(|s| {
+            for w in shard_order {
+                let indices = shards.remove(&w).expect("shard exists");
+                let (results, sink, completed, graph_pending) =
+                    (&results, &sink, &completed, &graph_pending);
+                let points = &points;
+                s.spawn(move |_| {
+                    let trace = self.trace(w);
+                    for i in indices {
+                        let point = &points[i];
+                        let started = Instant::now();
+                        let sys = point.system.build(w.kernel, self);
+                        let mut engine = self.engine_for(sys);
+                        engine.replay(&trace);
+                        let result = engine.finish();
+                        let wall_seconds = started.elapsed().as_secs_f64();
+
+                        let label = point.system.label();
+                        let manifest = RunManifest {
+                            index: i,
+                            workload: w.name(),
+                            kernel: w.kernel.to_string(),
+                            graph: w.graph.name().to_string(),
+                            system: label.clone(),
+                            config_hash: hash_config(&point.system.config_repr(self)),
+                            scale: format!("{:?}", self.scale),
+                            warmup: self.window.warmup,
+                            measure: self.window.measure,
+                            skip: self.skip,
+                            trace_len: trace.events.len(),
+                            wall_seconds,
+                            instructions: result.instructions,
+                            cycles: result.cycles,
+                            ipc: result.ipc(),
+                        };
+                        if let Some(sink) = sink {
+                            let line = serde::to_json_string(&manifest);
+                            writeln!(sink.lock(), "{line}").expect("write manifest line");
+                        }
+                        let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        if opts.progress {
+                            eprintln!(
+                                "[{n}/{total}] {w} on {label}: IPC {ipc:.3} ({wall_seconds:.1}s)",
+                                ipc = manifest.ipc,
+                            );
+                        }
+                        *results[i].lock() = Some(RunRecord {
+                            workload: w,
+                            kind: point.system.kind(),
+                            label,
+                            result,
+                            manifest,
+                        });
+                    }
+                    drop(trace);
+                    if opts.evict {
+                        self.evict_trace(w);
+                        let mut pending = graph_pending.lock();
+                        let left = pending.get_mut(&w.graph).expect("graph tracked");
+                        *left -= 1;
+                        if *left == 0 {
+                            self.evict_graph(w.graph);
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(sink) = &sink {
+            sink.lock().flush().expect("flush manifest");
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every matrix point completes"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgraph::SuiteScale;
+    use gpkernels::Kernel;
+    use simcore::Window;
+
+    fn tiny_runner() -> Runner {
+        Runner::new(SuiteScale::Tiny, Window::new(20_000, 80_000))
+    }
+
+    /// The acceptance property: a parallel matrix over >= 6 points matches
+    /// sequential `run_one` byte for byte.
+    #[test]
+    fn parallel_matrix_matches_sequential_run_one() {
+        let r = tiny_runner();
+        let points = cross(
+            &[
+                Workload::new(Kernel::Pr, GraphInput::Kron),
+                Workload::new(Kernel::Cc, GraphInput::Urand),
+                Workload::new(Kernel::Bfs, GraphInput::Kron),
+            ],
+            &[SystemKind::Baseline, SystemKind::SdcLp],
+        );
+        assert!(points.len() >= 6);
+        let records = r.run_matrix_with(&points, &MatrixOptions::quiet());
+        assert_eq!(records.len(), points.len());
+
+        let seq = tiny_runner();
+        for (rec, &(w, k)) in records.iter().zip(&points) {
+            assert_eq!(rec.workload, w);
+            assert_eq!(rec.kind, Some(k));
+            let expected = seq.run_one(w, k);
+            assert_eq!(
+                rec.result, expected,
+                "matrix result for {w} on {k} diverged from sequential run_one"
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_drops_traces_but_preserves_results() {
+        let r = tiny_runner();
+        let w = Workload::new(Kernel::Pr, GraphInput::Kron);
+        let opts = MatrixOptions { evict: true, ..MatrixOptions::quiet() };
+        let recs = r.run_matrix_with(&[(w, SystemKind::Baseline)], &opts);
+        assert_eq!(recs.len(), 1);
+        // Trace was evicted: requesting it again re-records (fresh Arc) yet
+        // yields identical events.
+        let t1 = r.trace(w);
+        let t2 = r.trace(w);
+        assert!(std::sync::Arc::ptr_eq(&t1, &t2), "fresh trace is cached again");
+        assert_eq!(recs[0].manifest.trace_len, t1.events.len());
+    }
+
+    #[test]
+    fn manifest_jsonl_is_written_per_point() {
+        let dir = std::env::temp_dir().join("sdclp-matrix-test");
+        let path = dir.join("manifest.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let r = tiny_runner();
+        let points = cross(
+            &[Workload::new(Kernel::Cc, GraphInput::Urand)],
+            &[SystemKind::Baseline, SystemKind::SdcLp],
+        );
+        let opts = MatrixOptions::quiet().with_manifest(&path);
+        let recs = r.run_matrix_with(&points, &opts);
+        let text = std::fs::read_to_string(&path).expect("manifest written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), recs.len());
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "not JSON: {line}");
+            assert!(line.contains("\"workload\":\"cc.urand\""), "line: {line}");
+            assert!(line.contains("\"config_hash\":\""), "line: {line}");
+        }
+        // The two design points must hash differently.
+        assert_ne!(recs[0].manifest.config_hash, recs[1].manifest.config_hash);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn custom_specs_run_design_space_points() {
+        let r = tiny_runner();
+        let w = Workload::new(Kernel::Bfs, GraphInput::Kron);
+        let cfg = simcore::SystemConfig::baseline(1);
+        let points = vec![
+            MatrixPoint::new(w, SystemSpec::Kind(SystemKind::Baseline)),
+            MatrixPoint::new(
+                w,
+                SystemSpec::custom("baseline-clone", format!("{cfg:?}"), move |_| {
+                    Box::new(simcore::BaselineHierarchy::new(&cfg))
+                }),
+            ),
+        ];
+        let recs = r.run_matrix_points(&points, &MatrixOptions::quiet());
+        assert_eq!(recs[0].result, recs[1].result, "identical configs must agree");
+        assert_eq!(recs[1].label, "baseline-clone");
+        assert!(recs[1].kind.is_none());
+    }
+}

@@ -22,11 +22,7 @@ pub type Mix = [Workload; MIX_WIDTH];
 pub fn generate_mixes(count: usize, seed: u64) -> Vec<Mix> {
     let pool = all_workloads();
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..count)
-        .map(|_| {
-            std::array::from_fn(|_| pool[rng.random_range(0..pool.len())])
-        })
-        .collect()
+    (0..count).map(|_| std::array::from_fn(|_| pool[rng.random_range(0..pool.len())])).collect()
 }
 
 /// The 50 mixes the Fig. 14 evaluation uses.
@@ -58,8 +54,7 @@ impl<'r> MulticoreRunner<'r> {
             return ipc;
         }
         let trace = self.runner.trace(w);
-        let (cores, backend) =
-            build_multicore(kind, &[w.kernel], MIX_WIDTH, &self.runner.sdclp);
+        let (cores, backend) = build_multicore(kind, &[w.kernel], MIX_WIDTH, &self.runner.sdclp);
         let (width, rob) = self.core_params();
         let engine = MulticoreEngine::new(cores, backend, self.runner.window);
         let results = engine.run(&[&trace], width, rob);
@@ -70,8 +65,7 @@ impl<'r> MulticoreRunner<'r> {
 
     /// Run a mix on a design; returns per-thread shared results.
     pub fn run_mix(&self, mix: &Mix, kind: SystemKind) -> Vec<SimResult> {
-        let traces: Vec<Arc<CompactTrace>> =
-            mix.iter().map(|&w| self.runner.trace(w)).collect();
+        let traces: Vec<Arc<CompactTrace>> = mix.iter().map(|&w| self.runner.trace(w)).collect();
         let trace_refs: Vec<&CompactTrace> = traces.iter().map(|t| t.as_ref()).collect();
         // Disjoint per-core address spaces, as in the paper's mixes.
         let offsets: Vec<u64> = (0..MIX_WIDTH as u64).map(|c| c << 40).collect();

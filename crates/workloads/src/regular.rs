@@ -170,17 +170,12 @@ mod tests {
         let mut rec = RecordingTracer::new(30_000);
         run_regular(RegularKind::SmallRandom, 0, &mut rec);
         let trace = rec.finish();
-        let addrs: Vec<u64> =
-            trace.events.iter().filter(|e| e.is_mem()).map(|e| e.addr).collect();
-        let (lo, hi) =
-            addrs.iter().fold((u64::MAX, 0), |(lo, hi), &a| (lo.min(a), hi.max(a)));
+        let addrs: Vec<u64> = trace.events.iter().filter(|e| e.is_mem()).map(|e| e.addr).collect();
+        let (lo, hi) = addrs.iter().fold((u64::MAX, 0), |(lo, hi), &a| (lo.min(a), hi.max(a)));
         assert!(hi - lo <= 16 * 1024, "footprint = {}", hi - lo);
         // Local walk: consecutive block strides stay small (the LP must
         // classify this as cache-friendly).
-        let big_strides = addrs
-            .windows(2)
-            .filter(|w| (w[0] >> 6).abs_diff(w[1] >> 6) > 8)
-            .count();
+        let big_strides = addrs.windows(2).filter(|w| (w[0] >> 6).abs_diff(w[1] >> 6) > 8).count();
         assert!(
             big_strides * 10 < addrs.len(),
             "{big_strides} large strides in {} accesses",

@@ -27,6 +27,7 @@ pub struct Runner {
     pub skip: u64,
     graphs: Mutex<HashMap<GraphInput, Arc<KernelInput>>>,
     traces: Mutex<HashMap<Workload, Arc<CompactTrace>>>,
+    regular_traces: Mutex<HashMap<RegularKind, Arc<CompactTrace>>>,
     /// Keep recorded traces cached across calls (memory permitting).
     pub cache_traces: bool,
 }
@@ -40,6 +41,7 @@ impl Runner {
             skip: 8 * scale.vertices() as u64,
             graphs: Mutex::new(HashMap::new()),
             traces: Mutex::new(HashMap::new()),
+            regular_traces: Mutex::new(HashMap::new()),
             cache_traces: true,
         }
     }
@@ -122,7 +124,10 @@ impl Runner {
         self.traces.lock().clear();
     }
 
-    fn engine_for(&self, sys: Box<dyn MemorySystem + Send>) -> Engine<Box<dyn MemorySystem + Send>> {
+    pub(crate) fn engine_for(
+        &self,
+        sys: Box<dyn MemorySystem + Send>,
+    ) -> Engine<Box<dyn MemorySystem + Send>> {
         let core = SystemConfig::baseline(1).core;
         Engine::new(sys, core.width, core.rob_entries, self.window)
     }
@@ -161,11 +166,26 @@ impl Runner {
         (engine.finish(), profile)
     }
 
-    /// Record a regular-suite (SPEC stand-in) trace.
-    pub fn regular_trace(&self, kind: RegularKind) -> CompactTrace {
+    /// The (cached) regular-suite (SPEC stand-in) trace. Memoized like
+    /// [`Runner::trace`] — the threshold sweep replays each of these
+    /// against many tau values and used to re-record per replay.
+    pub fn regular_trace(&self, kind: RegularKind) -> Arc<CompactTrace> {
+        if let Some(t) = self.regular_traces.lock().get(&kind) {
+            return Arc::clone(t);
+        }
         let mut rec = RecordingTracer::new(self.window.total());
         run_regular(kind, 0, &mut rec);
-        rec.finish()
+        let trace = Arc::new(rec.finish());
+        if self.cache_traces {
+            let mut guard = self.regular_traces.lock();
+            return Arc::clone(guard.entry(kind).or_insert(trace));
+        }
+        trace
+    }
+
+    /// Drop a cached regular-suite trace.
+    pub fn evict_regular_trace(&self, kind: RegularKind) {
+        self.regular_traces.lock().remove(&kind);
     }
 
     /// Run a regular-suite workload on an arbitrary system.
@@ -204,6 +224,18 @@ mod tests {
         let t3 = r.trace(w);
         assert!(!Arc::ptr_eq(&t1, &t3));
         assert_eq!(t1.events, t3.events, "regenerated trace must be identical");
+    }
+
+    #[test]
+    fn regular_traces_are_cached() {
+        let r = tiny_runner();
+        let a = r.regular_trace(RegularKind::Stream);
+        let b = r.regular_trace(RegularKind::Stream);
+        assert!(Arc::ptr_eq(&a, &b));
+        r.evict_regular_trace(RegularKind::Stream);
+        let c = r.regular_trace(RegularKind::Stream);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.events, c.events, "regenerated trace must be identical");
     }
 
     #[test]

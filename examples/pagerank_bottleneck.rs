@@ -29,11 +29,8 @@ fn main() {
         result.llc_mpki()
     );
 
-    let fallthrough = if result.l1d_mpki() > 0.0 {
-        result.llc_mpki() / result.l1d_mpki() * 100.0
-    } else {
-        0.0
-    };
+    let fallthrough =
+        if result.l1d_mpki() > 0.0 { result.llc_mpki() / result.l1d_mpki() * 100.0 } else { 0.0 };
     println!();
     println!("Finding 2 - {fallthrough:.1}% of L1D misses fall through to DRAM");
     println!("            (the paper reports 78.6% on its suite)");

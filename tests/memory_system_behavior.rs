@@ -78,11 +78,7 @@ fn sdc_and_sdcdir_agree_after_churn() {
     // reads and writes, then verify the precision invariant.
     for i in 0..2000u64 {
         let addr = 0x7000000000 + (i * 131) % 1500 * 64;
-        let r = if i % 3 == 0 {
-            MemRef::write(pc, 3, addr)
-        } else {
-            MemRef::read(pc, 3, addr)
-        };
+        let r = if i % 3 == 0 { MemRef::write(pc, 3, addr) } else { MemRef::read(pc, 3, addr) };
         t = prop.access(&r, t).completion + 3;
     }
     let mut resident = 0;
@@ -143,7 +139,10 @@ fn tau_zero_and_tau_huge_bracket_the_design_point() {
     let mk = |tau: u64| {
         sdclp_system(
             &cfg,
-            SdcLpConfig { lp: LpConfig { tau_glob: tau, ..LpConfig::table1() }, ..Default::default() },
+            SdcLpConfig {
+                lp: LpConfig { tau_glob: tau, ..LpConfig::table1() },
+                ..Default::default()
+            },
         )
     };
     let mut never = mk(u64::MAX);

@@ -62,10 +62,6 @@ fn shared_mix_never_beats_isolation_per_thread() {
     let shared = mc.run_mix(&mix, SystemKind::Baseline);
     for (w, res) in mix.iter().zip(&shared) {
         let single = mc.single_ipc(*w, SystemKind::Baseline);
-        assert!(
-            res.ipc() <= single * 1.10,
-            "{w}: shared {:.3} vs isolated {single:.3}",
-            res.ipc()
-        );
+        assert!(res.ipc() <= single * 1.10, "{w}: shared {:.3} vs isolated {single:.3}", res.ipc());
     }
 }

@@ -1,49 +1,71 @@
-//! Property-based integration tests over the core data structures and the
+//! Randomized integration tests over the core data structures and the
 //! kernel/reference equivalences.
+//!
+//! Originally written against `proptest`; rewritten as seeded-RNG case
+//! loops so the suite runs in the offline build environment (the vendored
+//! `rand` stand-in is deterministic for a fixed seed, so failures are
+//! reproducible — re-run with the printed case number to isolate one).
 
 use gpgraph::{build_csr, transpose, BuildOptions, Csr};
 use gpkernels::input::KernelInput;
 use gpkernels::{cc, reference, sssp};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sdclp::{LargePredictor, LpConfig, Route};
 use simcore::cache::Cache;
 use simcore::config::{CacheConfig, PrefetcherKind, ReplacementKind};
 use simcore::replacement::ReplCtx;
 use simcore::trace::NullTracer;
 
-/// Random edge list over up to 64 vertices.
-fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2usize..64).prop_flat_map(|n| {
-        let edge = (0..n as u32, 0..n as u32);
-        (Just(n), proptest::collection::vec(edge, 0..200))
-    })
+const CASES: u64 = 64;
+
+/// Random edge list over up to 64 vertices (mirrors the old proptest
+/// `edges_strategy`).
+fn random_edges(rng: &mut StdRng) -> (usize, Vec<(u32, u32)>) {
+    let n = rng.random_range(2usize..64);
+    let m = rng.random_range(0usize..200);
+    let edges =
+        (0..m).map(|_| (rng.random_range(0..n as u32), rng.random_range(0..n as u32))).collect();
+    (n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn built_csr_is_always_valid((n, edges) in edges_strategy()) {
+#[test]
+fn built_csr_is_always_valid() {
+    let mut rng = StdRng::seed_from_u64(0xC5A0);
+    for case in 0..CASES {
+        let (n, edges) = random_edges(&mut rng);
         let g = build_csr(n, &edges, BuildOptions::default());
-        prop_assert!(g.validate().is_ok());
-        prop_assert!(g.is_sorted());
+        assert!(g.validate().is_ok(), "case {case}");
+        assert!(g.is_sorted(), "case {case}");
     }
+}
 
-    #[test]
-    fn transpose_is_involutive((n, edges) in edges_strategy()) {
+#[test]
+fn transpose_is_involutive() {
+    let mut rng = StdRng::seed_from_u64(0xC5A1);
+    for case in 0..CASES {
+        let (n, edges) = random_edges(&mut rng);
         let g = build_csr(n, &edges, BuildOptions::default());
         let tt = transpose(&transpose(&g));
-        prop_assert_eq!(g, tt);
+        assert_eq!(g, tt, "case {case}");
     }
+}
 
-    #[test]
-    fn symmetrized_graph_equals_own_transpose((n, edges) in edges_strategy()) {
+#[test]
+fn symmetrized_graph_equals_own_transpose() {
+    let mut rng = StdRng::seed_from_u64(0xC5A2);
+    for case in 0..CASES {
+        let (n, edges) = random_edges(&mut rng);
         let g = build_csr(n, &edges, BuildOptions { symmetrize: true, ..Default::default() });
-        prop_assert_eq!(transpose(&g), g);
+        assert_eq!(transpose(&g), g, "case {case}");
     }
+}
 
-    #[test]
-    fn cc_equivalent_to_union_find((n, edges) in edges_strategy()) {
+#[test]
+fn cc_equivalent_to_union_find() {
+    let mut rng = StdRng::seed_from_u64(0xC5A3);
+    for case in 0..CASES {
+        let (n, edges) = random_edges(&mut rng);
         let g = build_csr(n, &edges, BuildOptions { symmetrize: true, ..Default::default() });
         let input = KernelInput::from_symmetric(g);
         let got = cc::connected_components(&input, 0, &mut NullTracer::new());
@@ -51,49 +73,64 @@ proptest! {
         // Same-component relation must coincide.
         for u in 0..input.num_vertices() {
             for v in (u + 1)..input.num_vertices() {
-                prop_assert_eq!(
+                assert_eq!(
                     got.comp[u] == got.comp[v],
                     expected[u] == expected[v],
-                    "vertices {} and {}", u, v
+                    "case {case}: vertices {u} and {v}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn sssp_equals_dijkstra((n, edges) in edges_strategy(), delta in 1u64..64) {
+#[test]
+fn sssp_equals_dijkstra() {
+    let mut rng = StdRng::seed_from_u64(0xC5A4);
+    for case in 0..CASES {
+        let (n, edges) = random_edges(&mut rng);
+        let delta = rng.random_range(1u64..64);
         let g = build_csr(n, &edges, BuildOptions { symmetrize: true, ..Default::default() });
         let input = KernelInput::from_symmetric(g);
         let src = input.default_source();
         let got = sssp::sssp(&input, 0, src, delta, &mut NullTracer::new());
-        prop_assert!(got.complete);
-        prop_assert_eq!(got.dist, reference::dijkstra(&input.csr, src));
+        assert!(got.complete, "case {case}");
+        assert_eq!(got.dist, reference::dijkstra(&input.csr, src), "case {case}");
     }
+}
 
-    #[test]
-    fn lp_accumulator_never_exceeds_14_bits(
-        pcs in proptest::collection::vec(0u64..64, 1..300),
-        blocks in proptest::collection::vec(0u64..(1 << 40), 1..300),
-    ) {
+#[test]
+fn lp_accumulator_never_exceeds_14_bits() {
+    let mut rng = StdRng::seed_from_u64(0xC5A5);
+    for case in 0..CASES {
+        let len = rng.random_range(1usize..300);
         let mut lp = LargePredictor::new(LpConfig::table1());
-        for (pc, block) in pcs.iter().zip(&blocks) {
-            lp.predict_and_train(*pc, *block);
-            if let Some(acc) = lp.accumulator_of(*pc) {
-                prop_assert!(acc <= sdclp::lp::S_ACC_MAX);
+        for _ in 0..len {
+            let pc = rng.random_range(0u64..64);
+            let block = rng.random_range(0u64..(1 << 40));
+            lp.predict_and_train(pc, block);
+            if let Some(acc) = lp.accumulator_of(pc) {
+                assert!(acc <= sdclp::lp::S_ACC_MAX, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn lp_first_access_of_a_pc_never_routes_to_sdc(pc in 0u64..1000, block in 0u64..(1 << 40)) {
+#[test]
+fn lp_first_access_of_a_pc_never_routes_to_sdc() {
+    let mut rng = StdRng::seed_from_u64(0xC5A6);
+    for case in 0..CASES {
+        let pc = rng.random_range(0u64..1000);
+        let block = rng.random_range(0u64..(1 << 40));
         let mut lp = LargePredictor::new(LpConfig::table1());
-        prop_assert_eq!(lp.predict_and_train(pc, block), Route::Hierarchy);
+        assert_eq!(lp.predict_and_train(pc, block), Route::Hierarchy, "case {case}");
     }
+}
 
-    #[test]
-    fn cache_never_exceeds_capacity_and_keeps_mru(
-        blocks in proptest::collection::vec(0u64..4096, 1..500),
-    ) {
+#[test]
+fn cache_never_exceeds_capacity_and_keeps_mru() {
+    let mut rng = StdRng::seed_from_u64(0xC5A7);
+    for case in 0..CASES {
+        let len = rng.random_range(1usize..500);
         let mut cache = Cache::new(&CacheConfig {
             sets: 16,
             ways: 4,
@@ -102,33 +139,37 @@ proptest! {
             replacement: ReplacementKind::Lru,
             prefetcher: PrefetcherKind::None,
         });
-        for &b in &blocks {
+        for _ in 0..len {
+            let b = rng.random_range(0u64..4096);
             let addr = b << 6;
             cache.access(addr, b, false, ReplCtx::NONE);
             cache.fill(addr, b, false, false, ReplCtx::NONE);
             // The block just filled must be resident (MRU is never the
             // victim of its own fill).
-            prop_assert!(cache.probe(b));
-            prop_assert!(cache.occupancy() <= 64);
+            assert!(cache.probe(b), "case {case}");
+            assert!(cache.occupancy() <= 64, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn dram_completion_after_issue(
-        blocks in proptest::collection::vec(0u64..(1u64 << 30), 1..200),
-    ) {
+#[test]
+fn dram_completion_after_issue() {
+    let mut rng = StdRng::seed_from_u64(0xC5A8);
+    for case in 0..CASES {
+        let len = rng.random_range(1usize..200);
         let mut dram = simcore::dram::Dram::new(&simcore::SystemConfig::baseline(1).dram);
         let mut now = 0u64;
-        for &b in &blocks {
+        for _ in 0..len {
+            let b = rng.random_range(0u64..(1u64 << 30));
             let done = dram.access(b, false, now);
-            prop_assert!(done > now);
+            assert!(done > now, "case {case}");
             now += 3;
         }
     }
 }
 
-/// Non-proptest sanity: the suite builder's six graphs stay connected
-/// enough for traversal kernels to do real work.
+/// Non-random sanity: the suite builder's graphs stay connected enough for
+/// traversal kernels to do real work.
 #[test]
 fn suite_graphs_have_giant_components() {
     use gpgraph::{build, GraphInput, SuiteScale};

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the slice of rayon it uses: [`scope`] with [`Scope::spawn`], executed
+//! on a bounded pool of OS threads sized by `RAYON_NUM_THREADS` (falling
+//! back to the machine's available parallelism). There is no work
+//! stealing — jobs drain from one shared FIFO — which is plenty for the
+//! coarse-grained replay jobs this workspace fans out (each job simulates
+//! millions of instructions; queue contention is noise).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Number of worker threads a [`scope`] uses: `RAYON_NUM_THREADS` when set
+/// to a positive integer, else the available hardware parallelism.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+type Job<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
+
+struct Queue<'env> {
+    jobs: VecDeque<Job<'env>>,
+    /// Jobs currently executing on some worker.
+    active: usize,
+}
+
+/// A spawn handle passed to the [`scope`] closure and to every job.
+pub struct Scope<'env> {
+    queue: Mutex<Queue<'env>>,
+    wakeup: Condvar,
+}
+
+impl<'env> Scope<'env> {
+    /// Queue `body` for execution inside this scope. Jobs may spawn
+    /// further jobs; the scope only returns once the queue is fully
+    /// drained and every job has finished.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        let mut q = self.queue.lock().unwrap();
+        q.jobs.push_back(Box::new(body));
+        drop(q);
+        self.wakeup.notify_one();
+    }
+}
+
+/// Run `op`, executing every job it spawns (directly or transitively) on a
+/// bounded worker pool, and return once all jobs have completed.
+///
+/// Panics in jobs propagate: the scope unwinds with the worker thread's
+/// panic once all other workers have stopped.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let sc = Scope {
+        queue: Mutex::new(Queue { jobs: VecDeque::new(), active: 0 }),
+        wakeup: Condvar::new(),
+    };
+    let result = op(&sc);
+    let workers = current_num_threads().max(1);
+    std::thread::scope(|ts| {
+        for _ in 0..workers {
+            ts.spawn(|| worker_loop(&sc));
+        }
+    });
+    result
+}
+
+fn worker_loop<'env>(sc: &Scope<'env>) {
+    // Decrements `active` even if the job unwinds, so a panicking job
+    // cannot leave sibling workers parked forever; the panic then
+    // propagates out of `std::thread::scope`.
+    struct ActiveGuard<'a, 'env>(&'a Scope<'env>);
+    impl Drop for ActiveGuard<'_, '_> {
+        fn drop(&mut self) {
+            let mut q = self.0.queue.lock().unwrap();
+            q.active -= 1;
+            if q.active == 0 && q.jobs.is_empty() {
+                // Last job out: release any workers parked on the queue.
+                self.0.wakeup.notify_all();
+            }
+        }
+    }
+
+    let mut q = sc.queue.lock().unwrap();
+    loop {
+        if let Some(job) = q.jobs.pop_front() {
+            q.active += 1;
+            drop(q);
+            let guard = ActiveGuard(sc);
+            job(sc);
+            drop(guard);
+            q = sc.queue.lock().unwrap();
+        } else if q.active == 0 {
+            return;
+        } else {
+            // Jobs are in flight and may spawn more; park until the queue
+            // changes.
+            q = sc.wakeup.wait(q).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_spawned_jobs_run() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_scope_returns() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s2| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    s2.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn scope_returns_op_result() {
+        let r = scope(|s| {
+            s.spawn(|_| {});
+            42
+        });
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn jobs_can_borrow_environment() {
+        let data = vec![1u64, 2, 3, 4];
+        let sums: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        scope(|s| {
+            for &x in &data {
+                let sums = &sums;
+                s.spawn(move |_| {
+                    sums.lock().unwrap().push(x * 10);
+                });
+            }
+        });
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20, 30, 40]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the capability it actually needs from serde: `#[derive(Serialize)]`
+//! producing machine-readable JSON (used by the run-manifest layer), and a
+//! `Deserialize` marker so existing derives compile. The API is
+//! deliberately small and self-describing: [`Serialize::serialize_json`]
+//! appends a JSON value to a buffer, [`to_json_string`] is the one-call
+//! entry point.
+
+// Let the derive's `::serde::...` paths resolve inside this crate's own
+// tests as well.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can write itself as a JSON value.
+pub trait Serialize {
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker for types whose `#[derive(Deserialize)]` must compile; no
+/// deserialization machinery is vendored (nothing in this workspace parses
+/// serialized configs back).
+pub trait Deserialize {}
+
+/// Serialize a value to a JSON string.
+pub fn to_json_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    out
+}
+
+/// Append one `"name":value` object member (derive-generated code calls
+/// this; `first` controls the separating comma).
+pub fn write_field<T: Serialize + ?Sized>(out: &mut String, first: bool, name: &str, value: &T) {
+    if !first {
+        out.push(',');
+    }
+    write_json_str(out, name);
+    out.push(':');
+    value.serialize_json(out);
+}
+
+/// Append a JSON string literal with escaping.
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 40], format_args!("{}", self)));
+            }
+        }
+    )*};
+}
+
+// Small helper avoiding a per-number String allocation where possible.
+fn itoa_buf<'a>(buf: &'a mut [u8; 40], args: std::fmt::Arguments<'_>) -> &'a str {
+    use std::io::Write;
+    let mut cursor = std::io::Cursor::new(&mut buf[..]);
+    // Numbers always fit in 40 bytes; fall back to "0" never happens.
+    let _ = write!(cursor, "{args}");
+    let len = cursor.position() as usize;
+    std::str::from_utf8(&buf[..len]).unwrap_or("0")
+}
+
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // Rust's shortest round-trip formatting; integral values get a
+            // ".0" so the token stays a JSON number either way.
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        f64::from(*self).serialize_json(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(out: &mut String, items: impl Iterator<Item = &'a T>) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_strings() {
+        assert_eq!(to_json_string(&42u64), "42");
+        assert_eq!(to_json_string(&-7i32), "-7");
+        assert_eq!(to_json_string(&true), "true");
+        assert_eq!(to_json_string(&1.5f64), "1.5");
+        assert_eq!(to_json_string(&2.0f64), "2.0");
+        assert_eq!(to_json_string(&f64::NAN), "null");
+        assert_eq!(to_json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn sequences_and_options() {
+        assert_eq!(to_json_string(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json_string(&[0.5f64; 2]), "[0.5,0.5]");
+        assert_eq!(to_json_string(&Some(5u32)), "5");
+        assert_eq!(to_json_string(&Option::<u32>::None), "null");
+    }
+
+    #[test]
+    fn derive_struct_and_enum() {
+        #[derive(Serialize)]
+        struct Inner {
+            x: u64,
+        }
+
+        #[derive(Serialize)]
+        enum Kind {
+            Fast,
+            #[allow(dead_code)]
+            Slow,
+        }
+
+        /// Doc comments and attributes on fields must be skipped.
+        #[derive(Serialize)]
+        struct Outer {
+            /// documented field
+            name: String,
+            kind: Kind,
+            inner: Inner,
+            values: Vec<u64>,
+        }
+
+        let o = Outer {
+            name: "run".into(),
+            kind: Kind::Fast,
+            inner: Inner { x: 9 },
+            values: vec![1, 2],
+        };
+        assert_eq!(
+            to_json_string(&o),
+            r#"{"name":"run","kind":"Fast","inner":{"x":9},"values":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn derive_deserialize_compiles() {
+        #[derive(Serialize, Deserialize)]
+        struct C {
+            a: u8,
+        }
+        fn assert_marker<T: Deserialize>() {}
+        assert_marker::<C>();
+        assert_eq!(to_json_string(&C { a: 1 }), r#"{"a":1}"#);
+    }
+}

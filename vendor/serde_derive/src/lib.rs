@@ -1,0 +1,217 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — structs with named fields and
+//! enums with unit variants — by walking the raw [`proc_macro::TokenStream`]
+//! directly (the container cannot fetch `syn`/`quote`). Unsupported shapes
+//! (generics, tuple structs, data-carrying enum variants) panic at compile
+//! time with a pointed message rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut src = String::from("out.push('{');");
+            for (i, f) in fields.iter().enumerate() {
+                src.push_str(&format!(
+                    "::serde::write_field(out, {first}, \"{f}\", &self.{f});",
+                    first = i == 0,
+                ));
+            }
+            src.push_str("out.push('}');");
+            src
+        }
+        Shape::UnitStruct => String::from("out.push_str(\"{}\");"),
+        Shape::UnitEnum(variants) => {
+            let mut arms = String::new();
+            for v in &variants {
+                arms.push_str(&format!("{name}::{v} => \"{v}\",", name = item.name));
+            }
+            format!("let s = match self {{ {arms} }}; ::serde::write_json_str(out, s);")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{ {body} }}\n\
+         }}",
+        name = item.name,
+    )
+    .parse()
+    .expect("serde_derive stand-in generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive stand-in generated invalid Rust")
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    UnitStruct,
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including expanded doc comments) and
+    // visibility (`pub`, `pub(crate)`, ...).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in: generic type `{name}` is not supported");
+        }
+    }
+
+    let shape = match (kind.as_str(), tokens.get(i)) {
+        // `struct Name;` — unit struct.
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::UnitStruct,
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde_derive stand-in: tuple struct `{name}` is not supported")
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::UnitEnum(parse_unit_variants(&name, g.stream()))
+        }
+        (k, other) => {
+            panic!("serde_derive stand-in: unsupported item `{k} {name}` (next token {other:?})")
+        }
+    };
+
+    Item { name, shape }
+}
+
+/// Extract field names from the body of a braced struct: for each field,
+/// skip attributes and visibility, take the ident before `:`, then skip the
+/// type up to the next comma at angle-bracket depth zero.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!(
+                        "serde_derive stand-in: expected `:` after field `{id}`, got {other:?}"
+                    ),
+                }
+                // Skip the type: consume to the next top-level comma. Parens
+                // and brackets arrive as single Group tokens, so only angle
+                // brackets need explicit depth tracking.
+                let mut depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive stand-in: unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Extract variant names from the body of an enum, requiring every variant
+/// to be a unit variant (optionally with an explicit discriminant).
+fn parse_unit_variants(enum_name: &str, body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        // Explicit discriminant: skip to the next comma.
+                        while i < tokens.len() {
+                            if let TokenTree::Punct(p) = &tokens[i] {
+                                if p.as_char() == ',' {
+                                    break;
+                                }
+                            }
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    Some(TokenTree::Group(_)) => panic!(
+                        "serde_derive stand-in: enum `{enum_name}` variant `{variant}` \
+                         carries data; only unit variants are supported"
+                    ),
+                    other => panic!(
+                        "serde_derive stand-in: unexpected token after variant \
+                         `{variant}`: {other:?}"
+                    ),
+                }
+                variants.push(variant);
+            }
+            other => panic!("serde_derive stand-in: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
