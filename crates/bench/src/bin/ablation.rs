@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablation studies for the design choices DESIGN.md calls out (not paper
 //! figures — sanity checks that each piece of the proposal earns its
 //! keep). Runs on a representative workload subset; pass --only to widen.

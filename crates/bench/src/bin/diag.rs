@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Diagnostic deep-dive: full component statistics for one workload under
 //! every system design. Not a paper figure — the tool used to validate the
 //! simulator's behaviour against the paper's narrative (and to debug it).

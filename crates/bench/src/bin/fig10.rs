@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 10: SDC size design-space exploration — (a) SDC MPKI and
 //! (b) speedup over Baseline for 8 KiB / 16 KiB / 32 KiB SDCs (the larger
 //! points pay 3- and 4-cycle latencies, Table I footnotes).

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 11: LP prediction-table entry-count sweep — fully-associative
 //! tables of 8/16/32/64 entries.
 //!

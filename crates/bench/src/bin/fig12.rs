@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 12: LP associativity sweep at 32 entries — direct-mapped,
 //! 2-way, 8-way, fully associative.
 //!

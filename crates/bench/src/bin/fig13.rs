@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 13: SDC+LP vs the Expert Programmer approach (static
 //! per-data-structure classification from offline analysis).
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 14: multi-core evaluation — normalized weighted speedup of each
 //! design over Baseline across 50 random 4-thread mixes (Section IV-D
 //! methodology).

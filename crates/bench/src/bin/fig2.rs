@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 2: Misses-Per-Kilo-Instruction at the L1D, L2C, and LLC on the
 //! Baseline architecture across the graph-processing workloads.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 3: probability that a memory access is served by DRAM, bucketed
 //! by the stride (in cache blocks) from the previous access by the same
 //! PC. Workload: cc.friendster, as in the paper.

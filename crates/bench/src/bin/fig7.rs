@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 7: single-core performance improvement of SDC+LP, T-OPT, Distill
 //! Cache, L1D 40KB ISO, and 2xLLC over the Baseline across the 36
 //! graph-processing workloads.

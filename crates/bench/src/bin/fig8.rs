@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 8: L2C and LLC MPKI of the Baseline vs SDC+LP per workload.
 //!
 //! Paper reference: averages drop from 44.5 / 41.8 (Baseline L2C / LLC)

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 9: first-level miss behaviour — Baseline L1D MPKI vs SDC+LP's
 //! L1D + SDC MPKI per workload.
 //!

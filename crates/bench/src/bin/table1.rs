@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table I: the full system configuration, printed from the live config
 //! structs (so the dump can never drift from what the simulator runs).
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table II: graph-kernel characteristics (from the live kernel metadata).
 
 use gpbench::TextTable;

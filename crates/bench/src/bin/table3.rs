@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table III: the input graphs at the selected scale, with degree
 //! statistics demonstrating each one's distribution character.
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table IV: per-core hardware budget of the SDC+LP proposal.
 
 use sdclp::{HardwareBudget, SdcLpConfig};

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Section V-B3: sensitivity of SDC+LP to the global threshold tau_glob,
 //! swept over 0..=256, on the GAP workloads *and* the regular suite (the
 //! SPEC stand-in) — verifying that tau_glob = 8 helps graph processing

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # gpbench — experiment harness shared plumbing
 //!
 //! Each paper table/figure has a binary (`cargo run --release -p gpbench

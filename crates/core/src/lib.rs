@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # sdclp — the Side Data Cache + Large Predictor proposal
 //!
 //! From-scratch implementation of the primary contribution of *Practically

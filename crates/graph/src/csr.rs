@@ -21,6 +21,7 @@ impl Csr {
     /// neighbor ids must be `< V`.
     pub fn from_raw(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Self {
         let g = Csr { offsets, neighbors };
+        // simlint::allow(unwrap): documented contract — from_raw panics on malformed arrays; use validate() to handle errors
         g.validate().expect("invalid CSR arrays");
         g
     }
@@ -33,12 +34,10 @@ impl Csr {
         if self.offsets[0] != 0 {
             return Err("offset array must start at 0".into());
         }
-        if *self.offsets.last().unwrap() != self.neighbors.len() as u64 {
-            return Err(format!(
-                "last offset {} != neighbor count {}",
-                self.offsets.last().unwrap(),
-                self.neighbors.len()
-            ));
+        // Emptiness was rejected above, so direct indexing is safe.
+        let last = self.offsets[self.offsets.len() - 1];
+        if last != self.neighbors.len() as u64 {
+            return Err(format!("last offset {last} != neighbor count {}", self.neighbors.len()));
         }
         if self.offsets.windows(2).any(|w| w[0] > w[1]) {
             return Err("offset array must be non-decreasing".into());

@@ -32,8 +32,9 @@ impl DegreeStats {
             };
         }
         let mut degrees: Vec<usize> = (0..n).map(|v| g.degree(v as u32)).collect();
-        let min = *degrees.iter().min().unwrap();
-        let max = *degrees.iter().max().unwrap();
+        // n > 0 was checked above; map_or keeps the empty case total anyway.
+        let min = degrees.iter().min().map_or(0, |&d| d);
+        let max = degrees.iter().max().map_or(0, |&d| d);
         let avg = g.avg_degree();
 
         let mut histogram = vec![0usize; 64 - (max.max(1) as u64).leading_zeros() as usize + 1];

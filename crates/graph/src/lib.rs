@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # gpgraph — graph substrate
 //!
 //! CSR/CSC graph representation (Section II-A of the paper), deterministic

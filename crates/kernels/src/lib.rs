@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # gpkernels — the GAP benchmark kernels, instrumented
 //!
 //! The six graph kernels of Table II (BC, BFS, CC, PR, TC, SSSP),

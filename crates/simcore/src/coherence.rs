@@ -8,7 +8,7 @@
 //! and verified as the full multi-core protocol so shared-memory workloads
 //! are supported by the substrate.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-block global coherence state, from the directory's point of view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +51,7 @@ pub struct DirectoryStats {
 /// A full-map MESI directory.
 #[derive(Debug, Default)]
 pub struct Directory {
-    entries: HashMap<u64, DirEntry>,
+    entries: BTreeMap<u64, DirEntry>,
     pub stats: DirectoryStats,
 }
 

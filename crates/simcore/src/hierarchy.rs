@@ -471,9 +471,8 @@ impl CoreMemory for CoreSide {
 
         // Victim-cache probe (when configured): a hit swaps the line back
         // into the L1 at one extra cycle.
-        if self.victim.is_some() {
-            let taken = self.victim.as_mut().unwrap().take(block);
-            if let Some(was_dirty) = taken {
+        if let Some(victim) = self.victim.as_mut() {
+            if let Some(was_dirty) = victim.take(block) {
                 if let Some(ev) = self.l1d.fill(r.addr, block, was_dirty || r.is_write, false, ctx)
                 {
                     self.handle_l1_eviction(ev, backend, t_l1_done);

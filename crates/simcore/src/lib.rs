@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # simcore — timing-simulator substrate
 //!
 //! A ChampSim-style, trace-driven timing model of an out-of-order core and

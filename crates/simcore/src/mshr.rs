@@ -90,7 +90,8 @@ impl MshrFile {
             .iter()
             .enumerate()
             .min_by_key(|(_, e)| e.done)
-            .expect("full MSHR file is non-empty");
+            // simlint::allow(unwrap): invariant — this branch means len == capacity, and capacity > 0
+            .expect("invariant: a full MSHR file is non-empty");
         let start = self.entries[idx].done;
         self.entries.swap_remove(idx);
         self.stall_cycles += start - now;

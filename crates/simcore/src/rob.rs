@@ -43,7 +43,11 @@ impl RobModel {
     /// Retire the oldest instruction, honoring in-order retirement and the
     /// retire-width limit; returns the cycle it left the ROB.
     fn retire_head(&mut self) -> u64 {
-        let completion = self.rob.pop_front().expect("retire from empty ROB");
+        let completion = self
+            .rob
+            .pop_front()
+            // simlint::allow(unwrap): invariant — both callers check !rob.is_empty() first
+            .expect("invariant: retire_head is only called on a non-empty ROB");
         let earliest = completion.max(self.last_retire_cycle);
         if earliest > self.last_retire_cycle {
             self.last_retire_cycle = earliest;

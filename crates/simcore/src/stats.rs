@@ -2,7 +2,7 @@
 //! backs the paper's Finding 3 (Fig. 3).
 
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Counters for one cache level.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
@@ -236,7 +236,7 @@ impl StrideProfile {
 /// stride bucket; the caller reports whether the access reached DRAM.
 #[derive(Debug, Default)]
 pub struct StrideProfiler {
-    last_block: HashMap<u16, u64>,
+    last_block: BTreeMap<u16, u64>,
     pub profile: StrideProfile,
 }
 

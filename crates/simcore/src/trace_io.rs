@@ -43,10 +43,18 @@ pub fn read_trace<R: Read>(reader: R) -> io::Result<CompactTrace> {
     let mut rec = [0u8; 16];
     for _ in 0..count {
         r.read_exact(&mut rec)?;
+        // Fixed-width field splits: sized arrays keep this infallible
+        // without any try_into().unwrap() on the hot decode path.
+        let mut addr = [0u8; 8];
+        let mut next_use = [0u8; 4];
+        let mut pc = [0u8; 2];
+        addr.copy_from_slice(&rec[0..8]);
+        next_use.copy_from_slice(&rec[8..12]);
+        pc.copy_from_slice(&rec[12..14]);
         events.push(TraceEvent {
-            addr: u64::from_le_bytes(rec[0..8].try_into().unwrap()),
-            next_use: u32::from_le_bytes(rec[8..12].try_into().unwrap()),
-            pc: u16::from_le_bytes(rec[12..14].try_into().unwrap()),
+            addr: u64::from_le_bytes(addr),
+            next_use: u32::from_le_bytes(next_use),
+            pc: u16::from_le_bytes(pc),
             sid: rec[14],
             flags: rec[15],
         });

@@ -1,0 +1,402 @@
+//! A minimal Rust lexer: just enough to strip comments, string/char
+//! literals, and lifetimes so the rule pass can match token patterns
+//! without false positives from text inside literals or docs.
+//!
+//! Literal *contents* are dropped (a string token carries no text); line
+//! comments are kept separately because waivers live in them.
+
+/// Token kinds the rule pass cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `as`, `fn`, raw idents).
+    Ident,
+    /// Any single punctuation character (`#`, `[`, `(`, `;`, ...).
+    Punct,
+    /// Numeric literal.
+    Num,
+    /// String / byte-string literal (contents dropped).
+    Str,
+    /// Char / byte literal (contents dropped).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+    pub text: String,
+}
+
+/// One `//` line comment (leading `//` stripped, not trimmed).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+    /// True when nothing but whitespace precedes the comment on its line.
+    pub own_line: bool,
+}
+
+/// Lexed file: the token stream plus the line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails: unknown bytes become punctuation; an
+/// unterminated literal consumes the rest of the file (the compiler will
+/// reject such a file anyway — the linter only needs to not panic).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_has_code = false;
+
+    macro_rules! push {
+        ($kind:expr, $text:expr) => {
+            out.tokens.push(Tok { line, kind: $kind, text: $text })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: chars[start..j].iter().collect(),
+                    own_line: !line_has_code,
+                });
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, nesting like rustc.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                line_has_code = true;
+                i = skip_string(&chars, i + 1, &mut line);
+                push!(TokKind::Str, String::new());
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&chars, i) => {
+                line_has_code = true;
+                i = skip_prefixed_literal(&chars, i, &mut line, &mut out);
+            }
+            '\'' => {
+                line_has_code = true;
+                i = lex_quote(&chars, i, &mut line, &mut out);
+            }
+            c if is_ident_start(c) => {
+                line_has_code = true;
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                push!(TokKind::Ident, chars[i..j].iter().collect());
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                line_has_code = true;
+                let mut j = i + 1;
+                loop {
+                    match chars.get(j) {
+                        Some(&d) if is_ident_continue(d) => j += 1,
+                        // `1.5` continues the number; `0..8` and `1.max()` do not.
+                        Some('.') if chars.get(j + 1).is_some_and(|d| d.is_ascii_digit()) => j += 2,
+                        // Exponent sign: `1e-5`, `2E+3`.
+                        Some('+') | Some('-')
+                            if matches!(chars.get(j - 1), Some('e') | Some('E')) =>
+                        {
+                            j += 1
+                        }
+                        _ => break,
+                    }
+                }
+                push!(TokKind::Num, chars[i..j].iter().collect());
+                i = j;
+            }
+            c => {
+                line_has_code = true;
+                push!(TokKind::Punct, c.to_string());
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// After an opening `"` at `start`, return the index just past the closing
+/// quote, tracking newlines.
+fn skip_string(chars: &[char], start: usize, line: &mut u32) -> usize {
+    let mut j = start;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Does `r` / `b` at `i` begin a raw string, byte string, byte char, or raw
+/// identifier (as opposed to a plain identifier like `rate`)?
+fn starts_raw_or_byte_literal(chars: &[char], i: usize) -> bool {
+    match chars[i] {
+        'r' => matches!(chars.get(i + 1), Some('"') | Some('#')),
+        'b' => matches!(chars.get(i + 1), Some('"') | Some('\'') | Some('r')),
+        _ => false,
+    }
+}
+
+/// Lex a literal starting with `r` or `b`: `r"..."`, `r#"..."#`, `r#ident`,
+/// `b"..."`, `b'x'`, `br#"..."#`. Returns the index past the literal.
+fn skip_prefixed_literal(chars: &[char], i: usize, line: &mut u32, out: &mut Lexed) -> usize {
+    let tok_line = *line;
+    let mut j = i;
+    let mut is_char = false;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'\'') {
+            is_char = true;
+        }
+    }
+    if !is_char && chars.get(j) == Some(&'r') {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    match chars.get(j) {
+        Some('"') => {
+            // Raw (or plain byte) string: ends at `"` followed by `hashes` #s.
+            j += 1;
+            // A non-raw byte string (`b"..."`) honors escapes.
+            let raw = chars[i] == 'r' || (chars[i] == 'b' && chars.get(i + 1) == Some(&'r'));
+            while j < chars.len() {
+                if chars[j] == '\n' {
+                    *line += 1;
+                    j += 1;
+                } else if !raw && chars[j] == '\\' {
+                    j += 2;
+                } else if chars[j] == '"'
+                    && chars[j + 1..].iter().take_while(|&&c| c == '#').count() >= hashes
+                {
+                    j += 1 + hashes;
+                    break;
+                } else {
+                    j += 1;
+                }
+            }
+            out.tokens.push(Tok { line: tok_line, kind: TokKind::Str, text: String::new() });
+            j
+        }
+        Some('\'') if is_char => {
+            out.tokens.push(Tok { line: tok_line, kind: TokKind::Char, text: String::new() });
+            skip_char_body(chars, j + 1)
+        }
+        Some(&c) if hashes == 1 && is_ident_start(c) => {
+            // Raw identifier `r#type`.
+            let start = j;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                line: tok_line,
+                kind: TokKind::Ident,
+                text: chars[start..j].iter().collect(),
+            });
+            j
+        }
+        _ => {
+            // `r` / `b` was a plain identifier after all (e.g. `r#}` noise):
+            // emit it and let the main loop handle what follows.
+            let mut k = i + 1;
+            while k < chars.len() && is_ident_continue(chars[k]) {
+                k += 1;
+            }
+            out.tokens.push(Tok {
+                line: tok_line,
+                kind: TokKind::Ident,
+                text: chars[i..k].iter().collect(),
+            });
+            k
+        }
+    }
+}
+
+/// After the opening `'` of a char literal (index of first content char),
+/// return the index past the closing `'`.
+fn skip_char_body(chars: &[char], start: usize) -> usize {
+    let mut j = start;
+    if chars.get(j) == Some(&'\\') {
+        j += 2;
+    } else {
+        j += 1;
+    }
+    while j < chars.len() && chars[j] != '\'' {
+        j += 1;
+    }
+    j + 1
+}
+
+/// `'` is either a char literal or a lifetime.
+fn lex_quote(chars: &[char], i: usize, line: &mut u32, out: &mut Lexed) -> usize {
+    let next = chars.get(i + 1).copied();
+    match next {
+        Some('\\') => {
+            out.tokens.push(Tok { line: *line, kind: TokKind::Char, text: String::new() });
+            skip_char_body(chars, i + 1)
+        }
+        Some(c) if c != '\'' && chars.get(i + 2) == Some(&'\'') => {
+            // 'x' — any single-char literal, including punctuation like '"'.
+            out.tokens.push(Tok { line: *line, kind: TokKind::Char, text: String::new() });
+            i + 3
+        }
+        Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+            // 'lifetime
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                line: *line,
+                kind: TokKind::Lifetime,
+                text: chars[i + 1..j].iter().collect(),
+            });
+            j
+        }
+        _ => {
+            // Stray quote (e.g. inside a macro); treat as punctuation.
+            out.tokens.push(Tok { line: *line, kind: TokKind::Punct, text: "'".into() });
+            i + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw "quoted" here"#;
+            let c = 'H';
+        "##;
+        assert!(!idents(src).iter().any(|t| t == "HashMap"));
+        assert!(idents(src).contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { unwrap_me('x') }";
+        let l = lex(src);
+        let lifetimes: Vec<_> =
+            l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["a", "a", "static"]);
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let a = \"two\nlines\";\nlet cycles = 1;";
+        let l = lex(src);
+        let cyc = l.tokens.iter().find(|t| t.text == "cycles").expect("cycles token");
+        assert_eq!(cyc.line, 3);
+    }
+
+    #[test]
+    fn comments_carry_line_and_position() {
+        let src = "let x = 1; // trailing\n// own line\nlet y = 2;";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert!(!l.comments[0].own_line);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[1].own_line);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn numbers_with_ranges_and_floats() {
+        let src = "for i in 0..10 { let f = 1.5e-3; let m = 1.max(2); }";
+        let l = lex(src);
+        let nums: Vec<_> =
+            l.tokens.iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text.as_str()).collect();
+        assert_eq!(nums, ["0", "10", "1.5e-3", "1", "2"]);
+    }
+
+    #[test]
+    fn punctuation_char_literals_do_not_open_strings() {
+        // A mis-lexed '"' would swallow the following code as a string.
+        let src = "let q = '\"'; let open = '{'; let cycles = 1;";
+        let l = lex(src);
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+        assert!(l.tokens.iter().any(|t| t.text == "cycles"));
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 0);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let src = "let r#type = b\"bytes\"; let raw = r#\"str\"#;";
+        assert!(idents(src).contains(&"type".to_string()));
+        assert_eq!(lex(src).tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+    }
+}

@@ -1,0 +1,82 @@
+#![forbid(unsafe_code)]
+//! `simlint` — a self-contained static-analysis pass for this workspace's
+//! determinism and simulator-correctness invariants.
+//!
+//! The paper's evaluation depends on bit-identical, replayable simulations
+//! (parallel `run_matrix` is pinned byte-for-byte to sequential `run_one`),
+//! and off-the-shelf tooling that could guard that property (dylint, Miri)
+//! needs registry access this environment doesn't have. So this crate
+//! implements the five repo-specific rules directly: a real lexer strips
+//! comments/strings/lifetimes, then token-pattern rules run over the
+//! stream. See [`rules`] for the rule table and waiver syntax, and
+//! README.md / DESIGN.md for how to add a rule.
+//!
+//! Drive it as `cargo run -p simlint` (non-zero exit on findings) or via
+//! [`lint_workspace`] from tests.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Finding, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Lint one file on disk. `root` anchors the workspace-relative path used
+/// for rule scoping and reporting.
+pub fn lint_file(root: &Path, path: &Path) -> std::io::Result<Vec<Finding>> {
+    let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+    let src = std::fs::read_to_string(path)?;
+    Ok(rules::lint_source(&rel, &src))
+}
+
+/// Collect every `.rs` file under `crates/`, sorted for deterministic
+/// output. Skips `target/` and the linter's own dirty test fixtures
+/// (`tests/` subtrees are already out of rule scope, but skipping them
+/// here keeps the walk small).
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            if path.is_dir() {
+                if name != "target" && name != "fixtures" {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lint the whole workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml` and `crates/`).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in workspace_sources(root)? {
+        findings.extend(lint_file(root, &path)?);
+    }
+    Ok(findings)
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,60 @@
+#![forbid(unsafe_code)]
+//! CLI driver: `cargo run -p simlint [--release] [ROOT]`.
+//!
+//! Walks `crates/**/*.rs` under the workspace root (auto-detected from the
+//! current directory unless given), prints one `file:line: rule — message`
+//! per finding, and exits non-zero when anything is found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match args.next() {
+        Some(flag) if flag == "--help" || flag == "-h" => {
+            println!(
+                "usage: simlint [ROOT]\n\nrules: {}\nwaiver: // simlint::allow(<rule>): <reason>",
+                simlint::RULES.join(", ")
+            );
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => PathBuf::from(path),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("simlint: cannot read current directory: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match simlint::find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!("simlint: no [workspace] Cargo.toml above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let (files, findings) = match simlint::workspace_sources(&root)
+        .and_then(|files| simlint::lint_workspace(&root).map(|f| (files.len(), f)))
+    {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("simlint: walking {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("simlint: {files} files checked, 0 violations");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("simlint: {files} files checked, {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

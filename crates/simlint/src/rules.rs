@@ -1,0 +1,543 @@
+//! The rule pass: repo-specific invariants D1-D5 over the token stream.
+//!
+//! Each rule has a kebab-case name used both in reports and in waivers:
+//!
+//! | rule            | invariant                                                     |
+//! |-----------------|---------------------------------------------------------------|
+//! | `unordered-map` | D1: no `HashMap`/`HashSet` where iteration order can leak     |
+//! | `wall-clock`    | D2: no `std::time`/`Instant`/`SystemTime` in simulator crates |
+//! | `narrowing-cast`| D3: no narrowing `as` on cycle/counter expressions in simcore |
+//! | `unwrap`        | D4: no `unwrap()`/`expect()` in library code outside tests    |
+//! | `forbid-unsafe` | D5: crate roots must carry `#![forbid(unsafe_code)]`          |
+//! | `waiver-syntax` | a malformed waiver is itself a violation                      |
+//!
+//! A waiver is a line comment `// simlint::allow(<rule>): <reason>` with a
+//! mandatory non-empty reason; it silences that one rule on its own line
+//! and on the line directly below (so it can trail the offending line or
+//! sit just above it).
+
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// All rule names, for waiver validation and `--help` output.
+pub const RULES: [&str; 5] =
+    ["unordered-map", "wall-clock", "narrowing-cast", "unwrap", "forbid-unsafe"];
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path as reported (workspace-relative when driven by `lint_workspace`).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (kebab-case, waivable) or `waiver-syntax`.
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {} — {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Where a file sits in the workspace; decides which rules apply.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Directory name under `crates/` (`simcore`, `bench`, ...).
+    pub crate_name: String,
+    /// `src/lib.rs`, `src/main.rs`, or a `src/bin/*.rs` target root.
+    pub is_crate_root: bool,
+}
+
+impl FileCtx {
+    /// Derive the context from a workspace-relative path like
+    /// `crates/simcore/src/cache.rs`. Returns None for paths the linter
+    /// does not own (fixtures, non-crate files).
+    pub fn from_rel_path(rel: &str) -> Option<FileCtx> {
+        let rel = rel.replace('\\', "/");
+        let mut parts = rel.split('/');
+        if parts.next() != Some("crates") {
+            return None;
+        }
+        let crate_name = parts.next()?.to_string();
+        let rest: Vec<&str> = parts.collect();
+        if rest.first() != Some(&"src") {
+            // tests/, benches/, fixtures/: integration tests are test code
+            // by definition and fixtures are intentionally dirty.
+            return None;
+        }
+        let is_crate_root = rest[1..] == ["lib.rs"]
+            || rest[1..] == ["main.rs"]
+            || (rest.len() == 3 && rest[1] == "bin");
+        Some(FileCtx { crate_name, is_crate_root })
+    }
+
+    fn rule_applies(&self, rule: &str) -> bool {
+        match rule {
+            // Result-aggregation and simulator state live everywhere but
+            // the harness crate (bench aggregates for printing only) and
+            // the linter itself.
+            "unordered-map" => !matches!(self.crate_name.as_str(), "bench" | "simlint"),
+            // Time belongs to bench (wall-clock reporting) and to the
+            // workloads manifest recorder; the simulation stack is
+            // cycle-accurate and must never read host clocks.
+            "wall-clock" => {
+                matches!(self.crate_name.as_str(), "simcore" | "core" | "kernels" | "graph")
+            }
+            "narrowing-cast" => self.crate_name == "simcore",
+            "unwrap" => self.crate_name != "bench",
+            "forbid-unsafe" => self.is_crate_root,
+            _ => false,
+        }
+    }
+}
+
+/// A parsed waiver: rule name + the fact it carried a reason.
+#[derive(Debug)]
+struct Waiver {
+    line: u32,
+    rule: String,
+}
+
+const WAIVER_MARK: &str = "simlint::allow(";
+
+fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut errors = Vec::new();
+    for c in comments {
+        // Doc comments (`///` -> text starts with '/', `//!` -> '!') talk
+        // *about* waivers; they never are one.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(start) = c.text.find(WAIVER_MARK) else { continue };
+        let after = &c.text[start + WAIVER_MARK.len()..];
+        let bad = |msg: &str| Finding {
+            file: String::new(),
+            line: c.line,
+            rule: "waiver-syntax",
+            message: msg.to_string(),
+        };
+        let Some(close) = after.find(')') else {
+            errors.push(bad("waiver is missing the closing ')'"));
+            continue;
+        };
+        let rule = after[..close].trim().to_string();
+        if !RULES.contains(&rule.as_str()) {
+            errors.push(bad(&format!(
+                "unknown rule '{rule}' in waiver (known: {})",
+                RULES.join(", ")
+            )));
+            continue;
+        }
+        let rest = &after[close + 1..];
+        let reason = rest.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            errors.push(bad(&format!(
+                "waiver for '{rule}' needs a reason: `// simlint::allow({rule}): <why>`"
+            )));
+            continue;
+        }
+        waivers.push(Waiver { line: c.line, rule });
+    }
+    (waivers, errors)
+}
+
+/// Mark every token that belongs to test-only code: items annotated
+/// `#[cfg(test)]` (or `#[cfg(all(test, ...))]` etc.) or `#[test]`. The
+/// attribute's argument tokens just need to contain the `test` ident.
+fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text != "#" || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching ']'.
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        let mut is_test_attr = false;
+        while j < tokens.len() && depth > 0 {
+            match tokens[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                "test" if tokens[j].kind == TokKind::Ident => is_test_attr = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Skip further attributes, then the item they decorate: either a
+        // braced body (fn/mod/impl) or a `;`-terminated item.
+        let item_end = {
+            let mut k = j;
+            loop {
+                match tokens.get(k).map(|t| t.text.as_str()) {
+                    Some("#") if tokens.get(k + 1).map(|t| t.text.as_str()) == Some("[") => {
+                        let mut d = 1i32;
+                        k += 2;
+                        while k < tokens.len() && d > 0 {
+                            match tokens[k].text.as_str() {
+                                "[" => d += 1,
+                                "]" => d -= 1,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                    Some("{") => {
+                        let mut d = 1i32;
+                        k += 1;
+                        while k < tokens.len() && d > 0 {
+                            match tokens[k].text.as_str() {
+                                "{" => d += 1,
+                                "}" => d -= 1,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        break k;
+                    }
+                    Some(";") => break k + 1,
+                    Some(_) => k += 1,
+                    None => break k,
+                }
+            }
+        };
+        for m in mask.iter_mut().take(item_end).skip(i) {
+            *m = true;
+        }
+        i = item_end;
+    }
+    mask
+}
+
+const NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Identifier fragments that mark an expression as carrying simulated time
+/// or event counts — the quantities whose silent truncation corrupts
+/// results instead of crashing.
+const COUNTER_HINTS: [&str; 8] =
+    ["cycle", "counter", "instr", "retired", "tick", "latency", "stall", "epoch"];
+
+/// How far back from an `as` we scan for counter-ish identifiers before
+/// giving up (bounded so pathological lines stay cheap).
+const CAST_SCAN_TOKENS: usize = 16;
+
+fn is_counterish(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    COUNTER_HINTS.iter().any(|h| lower.contains(h))
+}
+
+/// Run every applicable rule over one lexed file.
+fn run_rules(ctx: &FileCtx, lexed: &Lexed) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let in_test = test_mask(tokens);
+    let mut findings = Vec::new();
+    let mut push = |line: u32, rule: &'static str, message: String| {
+        findings.push(Finding { file: String::new(), line, rule, message });
+    };
+
+    let d1 = ctx.rule_applies("unordered-map");
+    let d2 = ctx.rule_applies("wall-clock");
+    let d3 = ctx.rule_applies("narrowing-cast");
+    let d4 = ctx.rule_applies("unwrap");
+
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test[i] {
+            continue;
+        }
+        let next_is = |off: usize, s: &str| tokens.get(i + off).is_some_and(|n| n.text == s);
+        match t.text.as_str() {
+            "HashMap" | "HashSet" if d1 => push(
+                t.line,
+                "unordered-map",
+                format!(
+                    "{} iteration order is nondeterministic and can reach results or \
+                     manifests; use BTreeMap/BTreeSet (or sort before iterating)",
+                    t.text
+                ),
+            ),
+            "Instant" | "SystemTime" if d2 => push(
+                t.line,
+                "wall-clock",
+                format!(
+                    "{} reads the host clock inside the cycle-accurate stack; time \
+                     belongs only to bench and manifest recording",
+                    t.text
+                ),
+            ),
+            // `std :: time` — the bare module path (covers `use std::time::...`).
+            "time"
+                if d2
+                    && i >= 3
+                    && tokens[i - 1].text == ":"
+                    && tokens[i - 2].text == ":"
+                    && tokens[i - 3].text == "std" =>
+            {
+                push(
+                    t.line,
+                    "wall-clock",
+                    "std::time is wall-clock; simulated time is the only clock allowed here"
+                        .to_string(),
+                );
+            }
+            "as" if d3 => {
+                let Some(target) = tokens.get(i + 1) else { continue };
+                if !NARROW_TYPES.contains(&target.text.as_str()) {
+                    continue;
+                }
+                let culprit = tokens[..i]
+                    .iter()
+                    .rev()
+                    .take(CAST_SCAN_TOKENS)
+                    .take_while(|p| !matches!(p.text.as_str(), ";" | "{" | "}" | "=" | ","))
+                    .find(|p| p.kind == TokKind::Ident && is_counterish(&p.text));
+                if let Some(c) = culprit {
+                    push(
+                        t.line,
+                        "narrowing-cast",
+                        format!(
+                            "`{} as {}` can silently truncate a cycle/counter value; \
+                             use try_into() or a saturating conversion",
+                            c.text, target.text
+                        ),
+                    );
+                }
+            }
+            // Method position only: `.unwrap(` / `.expect(`, not a locally
+            // defined `fn expect(...)`.
+            "unwrap" | "expect" if d4 && next_is(1, "(") && i >= 1 && tokens[i - 1].text == "." => {
+                push(
+                    t.line,
+                    "unwrap",
+                    format!(
+                        ".{}() in library code panics the whole simulation; \
+                         propagate a Result or document the invariant with a waiver",
+                        t.text
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // D5: crate roots must open with `#![forbid(unsafe_code)]`.
+    if ctx.rule_applies("forbid-unsafe") {
+        let found = tokens.windows(8).any(|w| {
+            w[0].text == "#"
+                && w[1].text == "!"
+                && w[2].text == "["
+                && w[3].text == "forbid"
+                && w[4].text == "("
+                && w[5].text == "unsafe_code"
+                && w[6].text == ")"
+                && w[7].text == "]"
+        });
+        if !found {
+            push(1, "forbid-unsafe", "crate root is missing #![forbid(unsafe_code)]".to_string());
+        }
+    }
+
+    findings
+}
+
+/// Lint one file's source. `rel` is the path used in reports and for rule
+/// scoping; sources outside `crates/<name>/src/` produce no findings.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    let Some(ctx) = FileCtx::from_rel_path(rel) else {
+        return Vec::new();
+    };
+    let lexed = lex(src);
+    let (waivers, waiver_errors) = parse_waivers(&lexed.comments);
+
+    // rule -> waived lines (a waiver covers its own line and the next).
+    let mut waived: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+    for w in &waivers {
+        waived.entry(w.rule.as_str()).or_default().extend([w.line, w.line + 1]);
+    }
+
+    let mut findings: Vec<Finding> = run_rules(&ctx, &lexed)
+        .into_iter()
+        .filter(|f| !waived.get(f.rule).is_some_and(|lines| lines.contains(&f.line)))
+        .chain(waiver_errors)
+        .collect();
+    for f in &mut findings {
+        f.file = rel.to_string();
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_as(rel: &str, src: &str) -> Vec<Finding> {
+        lint_source(rel, src)
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|f| f.rule).collect()
+    }
+
+    const SIM_FILE: &str = "crates/simcore/src/cache.rs";
+
+    // ---- D1 ----
+
+    #[test]
+    fn d1_flags_hashmap_and_waiver_silences_it() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u64, u64> }\n";
+        let f = lint_as(SIM_FILE, src);
+        assert_eq!(rules_of(&f), ["unordered-map", "unordered-map"]);
+        assert_eq!(f[0].line, 1);
+
+        let waived = "// simlint::allow(unordered-map): scratch map, never iterated\n\
+                      use std::collections::HashMap;\n";
+        assert!(lint_as(SIM_FILE, waived).is_empty());
+    }
+
+    #[test]
+    fn d1_skips_bench_and_test_modules() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(lint_as("crates/bench/src/lib.rs", src).iter().all(|f| f.rule != "unordered-map"));
+        let test_mod = "#[cfg(test)]\nmod tests { use std::collections::HashMap; }\n";
+        assert!(lint_as(SIM_FILE, test_mod).is_empty());
+    }
+
+    // ---- D2 ----
+
+    #[test]
+    fn d2_flags_wall_clock_in_sim_crates_only() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let f = lint_as(SIM_FILE, src);
+        assert!(f.iter().all(|f| f.rule == "wall-clock"));
+        assert!(f.len() >= 2, "both the import and the use site: {f:?}");
+        // workloads records wall time into manifests; out of D2 scope.
+        assert!(lint_as("crates/workloads/src/matrix.rs", src)
+            .iter()
+            .all(|f| f.rule != "wall-clock"));
+    }
+
+    #[test]
+    fn d2_waiver_works() {
+        let src = "fn f() { let t = Instant::now(); } \
+                   // simlint::allow(wall-clock): progress display only\n";
+        assert!(lint_as(SIM_FILE, src).is_empty());
+    }
+
+    // ---- D3 ----
+
+    #[test]
+    fn d3_flags_narrowing_counter_cast() {
+        let src = "fn f(cycles: u64) -> u32 { cycles as u32 }\n";
+        let f = lint_as(SIM_FILE, src);
+        assert_eq!(rules_of(&f), ["narrowing-cast"]);
+        // Same cast is fine outside simcore.
+        assert!(lint_as("crates/graph/src/csr.rs", src).is_empty());
+        // Widening or non-counter casts are fine.
+        assert!(lint_as(SIM_FILE, "fn g(cycles: u32) -> u64 { cycles as u64 }\n").is_empty());
+        assert!(lint_as(SIM_FILE, "fn h(block: u64) -> u32 { block as u32 }\n").is_empty());
+    }
+
+    #[test]
+    fn d3_waiver_works() {
+        let src = "fn f(tick: u64) -> u16 {\n\
+                   // simlint::allow(narrowing-cast): tick is masked to 12 bits above\n\
+                   tick as u16\n}\n";
+        assert!(lint_as(SIM_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn d3_statement_boundary_stops_the_scan() {
+        // `cycles` in the previous statement must not taint this cast.
+        let src = "fn f(cycles: u64, way: u64) -> u8 { let c = cycles; way as u8 }\n";
+        assert!(lint_as(SIM_FILE, src).is_empty());
+    }
+
+    // ---- D4 ----
+
+    #[test]
+    fn d4_flags_unwrap_and_expect_in_library_code() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn g(x: Option<u32>) -> u32 { x.expect(\"msg\") }\n";
+        assert_eq!(rules_of(&lint_as(SIM_FILE, src)), ["unwrap", "unwrap"]);
+    }
+
+    #[test]
+    fn d4_skips_tests_and_accepts_waivers() {
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(lint_as(SIM_FILE, test_src).is_empty());
+        let test_fn = "#[test]\nfn t() { None::<u32>.unwrap(); }\n";
+        assert!(lint_as(SIM_FILE, test_fn).is_empty());
+        let waived = "fn f(x: Option<u32>) -> u32 {\n\
+                      x.expect(\"invariant: caller checked\") \
+                      // simlint::allow(unwrap): caller guarantees Some\n}\n";
+        assert!(lint_as(SIM_FILE, waived).is_empty());
+    }
+
+    #[test]
+    fn d4_ignores_unwrap_or_and_non_method_positions() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\nfn expect() {}\n";
+        assert!(lint_as(SIM_FILE, src).is_empty());
+    }
+
+    // ---- D5 ----
+
+    #[test]
+    fn d5_requires_forbid_unsafe_on_crate_roots_only() {
+        let bare = "pub mod cache;\n";
+        let f = lint_as("crates/simcore/src/lib.rs", bare);
+        assert_eq!(rules_of(&f), ["forbid-unsafe"]);
+        // Non-root files don't need the attribute.
+        assert!(lint_as(SIM_FILE, bare).is_empty());
+        // bin targets are crate roots too.
+        assert_eq!(
+            rules_of(&lint_as("crates/bench/src/bin/fig2.rs", "fn main() {}\n")),
+            ["forbid-unsafe"]
+        );
+        let good = "#![forbid(unsafe_code)]\npub mod cache;\n";
+        assert!(lint_as("crates/simcore/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn d5_waiver_works() {
+        let src = "// simlint::allow(forbid-unsafe): FFI crate, audited in review\nfn main() {}\n";
+        assert!(lint_as("crates/bench/src/bin/fig2.rs", src).is_empty());
+    }
+
+    // ---- waiver hygiene ----
+
+    #[test]
+    fn malformed_waivers_are_violations() {
+        let no_reason = "// simlint::allow(unwrap):\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let f = lint_as(SIM_FILE, no_reason);
+        assert!(f.iter().any(|f| f.rule == "waiver-syntax"), "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "unwrap"), "reasonless waiver must not waive: {f:?}");
+
+        let unknown = "// simlint::allow(no-such-rule): whatever\n";
+        let f = lint_as(SIM_FILE, unknown);
+        assert_eq!(rules_of(&f), ["waiver-syntax"]);
+    }
+
+    #[test]
+    fn waiver_only_silences_its_own_rule() {
+        let src = "// simlint::allow(wall-clock): wrong rule on purpose\n\
+                   use std::collections::HashMap;\n";
+        assert_eq!(rules_of(&lint_as(SIM_FILE, src)), ["unordered-map"]);
+    }
+
+    #[test]
+    fn paths_outside_crate_src_are_ignored() {
+        let dirty = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint_as("crates/simlint/tests/fixtures/unwrap.rs", dirty).is_empty());
+        assert!(lint_as("src/lib.rs", dirty).is_empty());
+    }
+}

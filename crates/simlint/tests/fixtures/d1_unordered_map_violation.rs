@@ -1,0 +1,10 @@
+// Fixture: D1 violation — HashMap holding per-block simulator state.
+use std::collections::HashMap;
+
+pub struct Directory {
+    entries: HashMap<u64, u8>,
+}
+
+pub fn tracked(d: &Directory) -> usize {
+    d.entries.len()
+}

@@ -1,0 +1,8 @@
+// Fixture: D1 waived — the map is a lookup-only cache, never iterated.
+// simlint::allow(unordered-map): lookup-only; iteration order never observed
+use std::collections::HashMap;
+
+pub struct Cache {
+    // simlint::allow(unordered-map): lookup-only; iteration order never observed
+    entries: HashMap<u64, u8>,
+}

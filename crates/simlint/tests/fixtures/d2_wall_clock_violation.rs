@@ -1,0 +1,8 @@
+// Fixture: D2 violation — host clock inside the simulation stack.
+use std::time::Instant;
+
+pub fn latency_of<F: FnOnce()>(f: F) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}

@@ -1,0 +1,7 @@
+// Fixture: D2 waived — wall time feeds a progress line only.
+// simlint::allow(wall-clock): progress display only, never reaches results
+use std::time::Instant;
+
+pub fn seconds_since(t: std::time::Instant) -> f64 { // simlint::allow(wall-clock): progress display only
+    t.elapsed().as_secs_f64() // simlint::allow(wall-clock): progress display only
+}

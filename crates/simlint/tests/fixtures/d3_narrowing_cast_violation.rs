@@ -1,0 +1,4 @@
+// Fixture: D3 violation — narrowing a cycle counter with `as`.
+pub fn pack(cycles: u64) -> u32 {
+    cycles as u32
+}

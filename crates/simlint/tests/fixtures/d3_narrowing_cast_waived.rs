@@ -1,0 +1,5 @@
+// Fixture: D3 waived — value is pre-masked, truncation impossible.
+pub fn pack(cycles: u64) -> u16 {
+    // simlint::allow(narrowing-cast): masked to 12 bits, cannot truncate
+    (cycles & 0xFFF) as u16
+}

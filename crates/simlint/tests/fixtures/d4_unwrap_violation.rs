@@ -1,0 +1,8 @@
+// Fixture: D4 violation — library code that panics instead of propagating.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn tail(xs: &[u32]) -> u32 {
+    *xs.last().expect("non-empty")
+}

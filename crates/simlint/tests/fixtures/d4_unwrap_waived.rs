@@ -1,0 +1,5 @@
+// Fixture: D4 waived — invariant-documenting expect.
+pub fn head(xs: &[u32]) -> u32 {
+    // simlint::allow(unwrap): caller guarantees xs is non-empty (asserted above)
+    *xs.first().expect("invariant: caller passes non-empty slice")
+}

@@ -1,0 +1,7 @@
+// Fixture: D5 violation — a crate root without #![forbid(unsafe_code)].
+pub mod cache;
+pub mod dram;
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,6 @@
+// simlint::allow(forbid-unsafe): FFI shim, unsafe audited in review
+// Fixture: D5 waived (the attribute is the normal fix; a waiver is only
+// for a hypothetical FFI crate).
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,82 @@
+//! Fixture-based rule tests: each D-rule has a violation fixture that must
+//! trip it and a waived fixture that must pass clean. Fixtures live in
+//! `tests/fixtures/` (not compiled, excluded from workspace linting) and
+//! are linted *as if* they sat at an in-scope workspace path.
+
+use simlint::rules::lint_source;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Lint a fixture as if it lived at `rel` inside the workspace.
+fn lint_fixture(name: &str, rel: &str) -> Vec<simlint::Finding> {
+    lint_source(rel, &fixture(name))
+}
+
+#[test]
+fn d1_fixture_trips_and_waiver_clears() {
+    let f = lint_fixture("d1_unordered_map_violation.rs", "crates/simcore/src/fx.rs");
+    assert!(!f.is_empty(), "violation fixture must trip");
+    assert!(f.iter().all(|f| f.rule == "unordered-map"), "{f:?}");
+    let w = lint_fixture("d1_unordered_map_waived.rs", "crates/simcore/src/fx.rs");
+    assert!(w.is_empty(), "waived fixture must be clean: {w:?}");
+}
+
+#[test]
+fn d2_fixture_trips_and_waiver_clears() {
+    let f = lint_fixture("d2_wall_clock_violation.rs", "crates/simcore/src/fx.rs");
+    assert!(f.iter().any(|f| f.rule == "wall-clock"), "{f:?}");
+    let w = lint_fixture("d2_wall_clock_waived.rs", "crates/simcore/src/fx.rs");
+    assert!(w.is_empty(), "waived fixture must be clean: {w:?}");
+    // The same source in the harness crate is out of scope entirely.
+    let bench = lint_fixture("d2_wall_clock_violation.rs", "crates/bench/src/fx.rs");
+    assert!(bench.iter().all(|f| f.rule != "wall-clock"), "{bench:?}");
+}
+
+#[test]
+fn d3_fixture_trips_and_waiver_clears() {
+    let f = lint_fixture("d3_narrowing_cast_violation.rs", "crates/simcore/src/fx.rs");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "narrowing-cast");
+    let w = lint_fixture("d3_narrowing_cast_waived.rs", "crates/simcore/src/fx.rs");
+    assert!(w.is_empty(), "waived fixture must be clean: {w:?}");
+    // D3 is simcore-only.
+    let g = lint_fixture("d3_narrowing_cast_violation.rs", "crates/graph/src/fx.rs");
+    assert!(g.is_empty(), "{g:?}");
+}
+
+#[test]
+fn d4_fixture_trips_and_waiver_clears() {
+    let f = lint_fixture("d4_unwrap_violation.rs", "crates/workloads/src/fx.rs");
+    assert_eq!(f.len(), 2, "unwrap and expect both flagged: {f:?}");
+    assert!(f.iter().all(|f| f.rule == "unwrap"));
+    let w = lint_fixture("d4_unwrap_waived.rs", "crates/workloads/src/fx.rs");
+    assert!(w.is_empty(), "waived fixture must be clean: {w:?}");
+}
+
+#[test]
+fn d5_fixture_trips_and_waiver_clears() {
+    let f = lint_fixture("d5_forbid_unsafe_violation.rs", "crates/simcore/src/lib.rs");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "forbid-unsafe");
+    assert_eq!(f[0].line, 1);
+    let w = lint_fixture("d5_forbid_unsafe_waived.rs", "crates/simcore/src/lib.rs");
+    assert!(w.is_empty(), "waived fixture must be clean: {w:?}");
+    // Non-root files need no attribute.
+    let non_root = lint_fixture("d5_forbid_unsafe_violation.rs", "crates/simcore/src/fx.rs");
+    assert!(non_root.is_empty(), "{non_root:?}");
+}
+
+#[test]
+fn findings_render_as_file_line_rule_message() {
+    let f = lint_fixture("d3_narrowing_cast_violation.rs", "crates/simcore/src/fx.rs");
+    let line = f[0].to_string();
+    assert!(
+        line.starts_with("crates/simcore/src/fx.rs:3: narrowing-cast — "),
+        "unexpected rendering: {line}"
+    );
+}

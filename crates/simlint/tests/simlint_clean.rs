@@ -1,0 +1,44 @@
+//! The enforcement test: the workspace itself must be simlint-clean.
+//! This is what lets CI run the linter as a plain `cargo test` too — a
+//! regression that reintroduces nondeterministic iteration, wall-clock
+//! reads, narrowing counter casts, library panics, or an unsafe-capable
+//! crate root fails here with the exact `file:line: rule — message` list.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_violation_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/simlint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").exists(), "not a workspace root: {}", root.display());
+
+    let findings = simlint::lint_workspace(&root).expect("workspace walk failed");
+    if !findings.is_empty() {
+        let report: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+        panic!(
+            "simlint found {} violation(s):\n{}\n\nfix the code or add a \
+             `// simlint::allow(<rule>): <reason>` waiver",
+            findings.len(),
+            report.join("\n")
+        );
+    }
+}
+
+#[test]
+fn workspace_walk_sees_every_crate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("workspace root");
+    let files = simlint::workspace_sources(root).expect("walk");
+    let as_str: Vec<String> =
+        files.iter().map(|p| p.to_string_lossy().replace('\\', "/")).collect();
+    for krate in ["simcore", "core", "graph", "kernels", "workloads", "bench", "simlint"] {
+        assert!(
+            as_str.iter().any(|p| p.contains(&format!("crates/{krate}/src/"))),
+            "walk missed crate {krate}"
+        );
+    }
+    // Dirty fixtures must never be walked.
+    assert!(as_str.iter().all(|p| !p.contains("/fixtures/")), "fixtures leaked into the walk");
+}

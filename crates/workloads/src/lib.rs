@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # gpworkloads — workload definitions and the experiment runner
 //!
 //! The 36 single-core workloads of Section IV-C, the 50 multi-core mixes

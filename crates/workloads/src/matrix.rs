@@ -15,9 +15,12 @@
 //!
 //! Each completed point yields a [`RunRecord`]: the [`SimResult`] plus a
 //! serializable [`RunManifest`] (workload, system, config hash, window,
-//! skip, trace length, wall-clock seconds). Manifests can be streamed to a
-//! JSONL file for post-processing; a progress line per completed point goes
-//! to stderr.
+//! skip, trace length, wall-clock seconds). Manifests can be written to a
+//! JSONL file for post-processing; lines are emitted in *input order* after
+//! the run completes, so two identical invocations produce byte-identical
+//! manifest files (wall-clock seconds are recorded only when
+//! [`MatrixOptions::walltime`] is on — tests keep it off to stay
+//! reproducible). A progress line per completed point goes to stderr.
 
 use crate::configs::{build_system, SystemKind};
 use crate::runner::Runner;
@@ -28,10 +31,10 @@ use parking_lot::Mutex;
 use serde::Serialize;
 use simcore::hierarchy::MemorySystem;
 use simcore::SimResult;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -145,23 +148,29 @@ pub struct RunRecord {
 /// Execution options for a matrix run.
 #[derive(Debug, Clone, Default)]
 pub struct MatrixOptions {
-    /// Stream one JSON line per completed point to this file
-    /// (created/truncated; parent directories are created).
+    /// Write one JSON line per completed point to this file, in input
+    /// order (created/truncated; parent directories are created).
     pub manifest_path: Option<PathBuf>,
     /// Print a progress line per completed point to stderr.
     pub progress: bool,
     /// Evict each workload's trace (and each graph once every workload on
     /// it is done) as shards finish, bounding peak memory.
     pub evict: bool,
+    /// Record wall-clock seconds into manifests. Off, every manifest field
+    /// is a pure function of the inputs, so reruns are byte-identical —
+    /// the determinism tests rely on that.
+    pub walltime: bool,
 }
 
 impl MatrixOptions {
-    /// The harness default: progress lines, eviction, no manifest file.
+    /// The harness default: progress lines, eviction, wall-clock stamps,
+    /// no manifest file.
     pub fn harness() -> Self {
-        MatrixOptions { manifest_path: None, progress: true, evict: true }
+        MatrixOptions { manifest_path: None, progress: true, evict: true, walltime: true }
     }
 
-    /// Quiet in-memory run (unit tests, library callers).
+    /// Quiet in-memory run (unit tests, library callers): no progress, no
+    /// eviction, and deterministic (wall-clock-free) manifests.
     pub fn quiet() -> Self {
         MatrixOptions::default()
     }
@@ -213,9 +222,10 @@ impl Runner {
     ) -> Vec<RunRecord> {
         // Group point indices by workload, preserving first-appearance
         // order; one shard per workload keeps its trace alive exactly as
-        // long as needed.
+        // long as needed. (BTreeMap so nothing downstream can ever observe
+        // hash-order — shard *scheduling* follows shard_order regardless.)
         let mut shard_order: Vec<Workload> = Vec::new();
-        let mut shards: HashMap<Workload, Vec<usize>> = HashMap::new();
+        let mut shards: BTreeMap<Workload, Vec<usize>> = BTreeMap::new();
         for (i, p) in points.iter().enumerate() {
             shards
                 .entry(p.workload)
@@ -227,20 +237,11 @@ impl Runner {
         }
 
         // Graphs stay resident until their last workload shard completes.
-        let mut graph_pending: HashMap<GraphInput, usize> = HashMap::new();
+        let mut graph_pending: BTreeMap<GraphInput, usize> = BTreeMap::new();
         for &w in &shard_order {
             *graph_pending.entry(w.graph).or_insert(0) += 1;
         }
         let graph_pending = Mutex::new(graph_pending);
-
-        let sink = opts.manifest_path.as_ref().map(|path| {
-            if let Some(dir) = path.parent() {
-                std::fs::create_dir_all(dir).expect("create manifest directory");
-            }
-            Mutex::new(std::io::BufWriter::new(
-                std::fs::File::create(path).expect("create manifest file"),
-            ))
-        });
 
         let results: Vec<Mutex<Option<RunRecord>>> =
             points.iter().map(|_| Mutex::new(None)).collect();
@@ -249,9 +250,11 @@ impl Runner {
 
         rayon::scope(|s| {
             for w in shard_order {
-                let indices = shards.remove(&w).expect("shard exists");
-                let (results, sink, completed, graph_pending) =
-                    (&results, &sink, &completed, &graph_pending);
+                let indices = shards
+                    .remove(&w)
+                    // simlint::allow(unwrap): invariant — shard_order and shards are built together above
+                    .expect("invariant: every shard_order entry has a shard");
+                let (results, completed, graph_pending) = (&results, &completed, &graph_pending);
                 let points = &points;
                 s.spawn(move |_| {
                     let trace = self.trace(w);
@@ -277,15 +280,11 @@ impl Runner {
                             measure: self.window.measure,
                             skip: self.skip,
                             trace_len: trace.events.len(),
-                            wall_seconds,
+                            wall_seconds: if opts.walltime { wall_seconds } else { 0.0 },
                             instructions: result.instructions,
                             cycles: result.cycles,
                             ipc: result.ipc(),
                         };
-                        if let Some(sink) = sink {
-                            let line = serde::to_json_string(&manifest);
-                            writeln!(sink.lock(), "{line}").expect("write manifest line");
-                        }
                         let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
                         if opts.progress {
                             eprintln!(
@@ -305,7 +304,10 @@ impl Runner {
                     if opts.evict {
                         self.evict_trace(w);
                         let mut pending = graph_pending.lock();
-                        let left = pending.get_mut(&w.graph).expect("graph tracked");
+                        let left = pending
+                            .get_mut(&w.graph)
+                            // simlint::allow(unwrap): invariant — graph_pending covers every shard's graph
+                            .expect("invariant: graph_pending tracks every shard's graph");
                         *left -= 1;
                         if *left == 0 {
                             self.evict_graph(w.graph);
@@ -315,14 +317,37 @@ impl Runner {
             }
         });
 
-        if let Some(sink) = &sink {
-            sink.lock().flush().expect("flush manifest");
-        }
-        results
+        let records: Vec<RunRecord> = results
             .into_iter()
-            .map(|slot| slot.into_inner().expect("every matrix point completes"))
-            .collect()
+            .map(|slot| {
+                slot.into_inner()
+                    // simlint::allow(unwrap): invariant — rayon::scope joins every spawned shard
+                    .expect("invariant: every matrix point completes before the scope ends")
+            })
+            .collect();
+
+        // Manifest lines are written only now, in input order: completion
+        // order varies with thread scheduling, and the manifest file is
+        // pinned byte-for-byte by the determinism tests.
+        if let Some(path) = &opts.manifest_path {
+            // simlint::allow(unwrap): manifest was explicitly requested; losing it silently would corrupt the evaluation record
+            write_manifest_jsonl(path, &records).expect("write manifest JSONL");
+        }
+        records
     }
+}
+
+/// Write one JSON line per record (already in input order) to `path`,
+/// creating parent directories.
+fn write_manifest_jsonl(path: &Path, records: &[RunRecord]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut sink = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for rec in records {
+        writeln!(sink, "{}", serde::to_json_string(&rec.manifest))?;
+    }
+    sink.flush()
 }
 
 #[cfg(test)]
@@ -403,6 +428,53 @@ mod tests {
         // The two design points must hash differently.
         assert_ne!(recs[0].manifest.config_hash, recs[1].manifest.config_hash);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// D1 regression (simlint `unordered-map`): two identical matrix
+    /// invocations — fresh Runner each, parallel execution, shard maps and
+    /// all — must emit byte-identical manifest files, ordering included.
+    /// Hash-ordered shard or directory maps anywhere on the result path
+    /// would break this intermittently.
+    #[test]
+    fn identical_matrix_runs_emit_byte_identical_manifests() {
+        let dir = std::env::temp_dir().join("sdclp-matrix-determinism");
+        let path_a = dir.join("a.jsonl");
+        let path_b = dir.join("b.jsonl");
+        let points = cross(
+            &[
+                Workload::new(Kernel::Pr, GraphInput::Kron),
+                Workload::new(Kernel::Bfs, GraphInput::Urand),
+                Workload::new(Kernel::Cc, GraphInput::Kron),
+            ],
+            &[SystemKind::Baseline, SystemKind::SdcLp],
+        );
+        for (path, label) in [(&path_a, "a"), (&path_b, "b")] {
+            let r = tiny_runner();
+            let opts = MatrixOptions::quiet().with_manifest(path);
+            let recs = r.run_matrix_with(&points, &opts);
+            assert_eq!(recs.len(), points.len(), "run {label}");
+        }
+        let a = std::fs::read(&path_a).expect("manifest a");
+        let b = std::fs::read(&path_b).expect("manifest b");
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "manifest files diverged between identical runs");
+        // Lines come out in input order, not completion order.
+        let text = String::from_utf8(a).expect("utf8 manifest");
+        let indices: Vec<usize> = text
+            .lines()
+            .map(|l| {
+                let tail = l.split("\"index\":").nth(1).expect("index field");
+                tail.split(&[',', '}'][..])
+                    .next()
+                    .expect("index value")
+                    .trim()
+                    .parse()
+                    .expect("usize")
+            })
+            .collect();
+        assert_eq!(indices, (0..points.len()).collect::<Vec<_>>(), "not input order");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simcore::{weighted_ipc, CompactTrace, MulticoreEngine, SimResult, SystemConfig};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Threads per mix (the paper evaluates 4-thread mixes).
@@ -34,12 +34,12 @@ pub fn paper_mixes() -> Vec<Mix> {
 /// memoizing each workload's isolated IPC per design.
 pub struct MulticoreRunner<'r> {
     pub runner: &'r Runner,
-    single_ipc: Mutex<HashMap<(Workload, SystemKind), f64>>,
+    single_ipc: Mutex<BTreeMap<(Workload, SystemKind), f64>>,
 }
 
 impl<'r> MulticoreRunner<'r> {
     pub fn new(runner: &'r Runner) -> Self {
-        MulticoreRunner { runner, single_ipc: Mutex::new(HashMap::new()) }
+        MulticoreRunner { runner, single_ipc: Mutex::new(BTreeMap::new()) }
     }
 
     fn core_params(&self) -> (usize, usize) {

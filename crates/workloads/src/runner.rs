@@ -13,7 +13,7 @@ use sdclp::SdcLpConfig;
 use simcore::hierarchy::MemorySystem;
 use simcore::stats::StrideProfile;
 use simcore::{CompactTrace, Engine, RecordingTracer, SimResult, SystemConfig, Window};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Builds inputs/traces lazily and runs simulations.
@@ -25,9 +25,9 @@ pub struct Runner {
     /// into the kernel's steady-state phase). Defaults to `8 x vertices`,
     /// which puts every kernel past its initialization sweeps.
     pub skip: u64,
-    graphs: Mutex<HashMap<GraphInput, Arc<KernelInput>>>,
-    traces: Mutex<HashMap<Workload, Arc<CompactTrace>>>,
-    regular_traces: Mutex<HashMap<RegularKind, Arc<CompactTrace>>>,
+    graphs: Mutex<BTreeMap<GraphInput, Arc<KernelInput>>>,
+    traces: Mutex<BTreeMap<Workload, Arc<CompactTrace>>>,
+    regular_traces: Mutex<BTreeMap<RegularKind, Arc<CompactTrace>>>,
     /// Keep recorded traces cached across calls (memory permitting).
     pub cache_traces: bool,
 }
@@ -39,9 +39,9 @@ impl Runner {
             window,
             sdclp: SdcLpConfig::table1(),
             skip: 8 * scale.vertices() as u64,
-            graphs: Mutex::new(HashMap::new()),
-            traces: Mutex::new(HashMap::new()),
-            regular_traces: Mutex::new(HashMap::new()),
+            graphs: Mutex::new(BTreeMap::new()),
+            traces: Mutex::new(BTreeMap::new()),
+            regular_traces: Mutex::new(BTreeMap::new()),
             cache_traces: true,
         }
     }
@@ -162,7 +162,10 @@ impl Runner {
         let mut engine = self.engine_for(build_system(kind, w.kernel, &self.sdclp));
         engine.enable_stride_profiler();
         engine.replay(&trace);
-        let profile = engine.stride_profile().expect("profiler enabled");
+        let profile = engine
+            .stride_profile()
+            // simlint::allow(unwrap): invariant — enable_stride_profiler() was called two lines up
+            .expect("invariant: stride profiler enabled before replay");
         (engine.finish(), profile)
     }
 
