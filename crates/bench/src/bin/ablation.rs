@@ -9,7 +9,7 @@
 //! 3. LLC replacement: LRU vs SRRIP vs T-OPT on the baseline hierarchy.
 //!    (RRIP-class policies do little for graphs — Section VI's claim.)
 
-use gpbench::{pct, HarnessOpts, TextTable};
+use gpbench::{finish_sweeps, pct, run_or_exit, HarnessOpts, TextTable};
 use gpgraph::GraphInput;
 use gpkernels::Kernel;
 use gpworkloads::{MatrixPoint, RunRecord, SystemKind, SystemSpec, Workload};
@@ -18,6 +18,7 @@ use simcore::config::ReplacementKind;
 use simcore::geomean;
 use simcore::hierarchy::{SharedBackend, SingleCore};
 use simcore::SystemConfig;
+use std::process::ExitCode;
 
 fn subset() -> Vec<Workload> {
     vec![
@@ -43,11 +44,11 @@ fn run_ablation(
         .filter(|w| opts.selected(&w.name()))
         .flat_map(|w| specs.iter().map(move |s| MatrixPoint::new(w, s.clone())))
         .collect();
-    let records = runner.run_matrix_points(&points, &opts.matrix_options(tag));
+    let records = run_or_exit(runner.run_matrix_points(&points, &opts.matrix_options(tag)), tag);
     records.chunks(specs.len()).map(<[RunRecord]>::to_vec).collect()
 }
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
     let sys_cfg = SystemConfig::baseline(1);
@@ -70,7 +71,8 @@ fn main() {
     ];
     let mut t1 = TextTable::new(vec!["workload", "LP (paper)", "Expert", "all-to-SDC"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for chunk in run_ablation(&opts, &runner, "ablation1", &specs) {
+    let a1 = run_ablation(&opts, &runner, "ablation1", &specs);
+    for chunk in &a1 {
         let base = &chunk[0].result;
         let mut cells = vec![chunk[0].workload.name()];
         for (c, rec) in cols.iter_mut().zip(&chunk[1..]) {
@@ -101,7 +103,8 @@ fn main() {
         ));
     }
     let mut t2 = TextTable::new(vec!["workload", "4cy", "8cy (paper-ish)", "16cy", "32cy"]);
-    for chunk in run_ablation(&opts, &runner, "ablation2", &specs) {
+    let a2 = run_ablation(&opts, &runner, "ablation2", &specs);
+    for chunk in &a2 {
         let base = &chunk[0].result;
         let mut cells = vec![chunk[0].workload.name()];
         for rec in &chunk[1..] {
@@ -129,7 +132,8 @@ fn main() {
         Box::new(simcore::BaselineHierarchy::new(&vcfg))
     }));
     let mut t3 = TextTable::new(vec!["workload", "SRRIP", "T-OPT", "victim cache"]);
-    for chunk in run_ablation(&opts, &runner, "ablation3", &specs) {
+    let a3 = run_ablation(&opts, &runner, "ablation3", &specs);
+    for chunk in &a3 {
         let base = &chunk[0].result;
         let mut cells = vec![chunk[0].workload.name()];
         for rec in &chunk[1..] {
@@ -160,7 +164,8 @@ fn main() {
     ];
     let mut t4 =
         TextTable::new(vec!["workload", "base+stride", "sdclp (next-line)", "sdclp+stride L1D"]);
-    for chunk in run_ablation(&opts, &runner, "ablation4", &specs) {
+    let a4 = run_ablation(&opts, &runner, "ablation4", &specs);
+    for chunk in &a4 {
         let base = &chunk[0].result;
         let mut cells = vec![chunk[0].workload.name()];
         for rec in &chunk[1..] {
@@ -174,4 +179,8 @@ fn main() {
     println!("Expected: LP ~ Expert >> all-to-SDC; mild probe-latency sensitivity;");
     println!("SRRIP ~ LRU on graphs while the T-OPT oracle helps (paper Section VI);");
     println!("stride prefetching composes with (does not replace) the SDC+LP win.");
+
+    let sweeps: Vec<&[RunRecord]> =
+        [&a1, &a2, &a3, &a4].into_iter().flatten().map(Vec::as_slice).collect();
+    finish_sweeps(&sweeps)
 }

@@ -3,15 +3,17 @@
 //! every system design. Not a paper figure — the tool used to validate the
 //! simulator's behaviour against the paper's narrative (and to debug it).
 
-use gpbench::HarnessOpts;
+use gpbench::{finish_sweeps, run_or_exit, HarnessOpts};
 use gpworkloads::{cross, SystemKind};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
 
     let points = cross(&opts.workloads(), &SystemKind::ALL);
-    let records = runner.run_matrix_with(&points, &opts.matrix_options("diag"));
+    let records =
+        run_or_exit(runner.run_matrix_with(&points, &opts.matrix_options("diag")), "diag");
 
     for chunk in records.chunks(SystemKind::ALL.len()) {
         let w = chunk[0].workload;
@@ -44,4 +46,5 @@ fn main() {
             );
         }
     }
+    finish_sweeps(&[&records])
 }

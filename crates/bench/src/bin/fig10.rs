@@ -7,12 +7,13 @@
 //! best overall because its 1-cycle hit latency beats the marginal MPKI
 //! gains of the bigger configurations.
 
-use gpbench::{pct, HarnessOpts, TextTable};
+use gpbench::{finish_sweeps, pct, run_or_exit, HarnessOpts, TextTable};
 use gpworkloads::{MatrixPoint, SystemKind, SystemSpec};
 use sdclp::{SdcConfig, SdcLpConfig};
 use simcore::geomean;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
 
@@ -36,7 +37,8 @@ fn main() {
         .into_iter()
         .flat_map(|w| specs.iter().map(move |s| MatrixPoint::new(w, s.clone())))
         .collect();
-    let records = runner.run_matrix_points(&points, &opts.matrix_options("fig10"));
+    let records =
+        run_or_exit(runner.run_matrix_points(&points, &opts.matrix_options("fig10")), "fig10");
 
     let mut table = TextTable::new(vec![
         "workload",
@@ -80,4 +82,5 @@ fn main() {
     println!(
         "Paper reference: SDC MPKI 50.5/49.1/48.0; 8KB performs best (latency beats capacity)."
     );
+    finish_sweeps(&[&records])
 }

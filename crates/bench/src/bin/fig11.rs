@@ -6,12 +6,13 @@
 //! saturate at 32 entries because graph kernels have few static access
 //! sites.
 
-use gpbench::{pct, HarnessOpts, TextTable};
+use gpbench::{finish_sweeps, pct, run_or_exit, HarnessOpts, TextTable};
 use gpworkloads::{MatrixPoint, SystemKind, SystemSpec};
 use sdclp::{LpConfig, SdcLpConfig};
 use simcore::geomean;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
     let entry_counts = [8usize, 16, 32, 64];
@@ -35,7 +36,8 @@ fn main() {
         .into_iter()
         .flat_map(|w| specs.iter().map(move |s| MatrixPoint::new(w, s.clone())))
         .collect();
-    let records = runner.run_matrix_points(&points, &opts.matrix_options("fig11"));
+    let records =
+        run_or_exit(runner.run_matrix_points(&points, &opts.matrix_options("fig11")), "fig11");
 
     let mut headers = vec!["workload".to_string()];
     headers.extend(entry_counts.iter().map(|e| format!("{e} entries")));
@@ -61,4 +63,5 @@ fn main() {
     table.print();
     println!();
     println!("Paper reference geomeans: 8 +13.7%, 16 +17.9%, 32 +20.7%, 64 +20.7%.");
+    finish_sweeps(&[&records])
 }

@@ -5,12 +5,13 @@
 //! Paper reference geomeans: +17.0% / +20.3% / +20.7% / +20.7% — the
 //! 8-way design (Table I) approaches the fully-associative optimum.
 
-use gpbench::{pct, HarnessOpts, TextTable};
+use gpbench::{finish_sweeps, pct, run_or_exit, HarnessOpts, TextTable};
 use gpworkloads::{MatrixPoint, SystemKind, SystemSpec};
 use sdclp::{LpConfig, SdcLpConfig};
 use simcore::geomean;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
     let ways_sweep = [1usize, 2, 8, 32];
@@ -34,7 +35,8 @@ fn main() {
         .into_iter()
         .flat_map(|w| specs.iter().map(move |s| MatrixPoint::new(w, s.clone())))
         .collect();
-    let records = runner.run_matrix_points(&points, &opts.matrix_options("fig12"));
+    let records =
+        run_or_exit(runner.run_matrix_points(&points, &opts.matrix_options("fig12")), "fig12");
 
     let mut headers = vec!["workload".to_string()];
     headers.extend(ways_sweep.iter().map(|w| {
@@ -66,4 +68,5 @@ fn main() {
     table.print();
     println!();
     println!("Paper reference geomeans: 1-way +17.0%, 2-way +20.3%, 8-way +20.7%, full +20.7%.");
+    finish_sweeps(&[&records])
 }

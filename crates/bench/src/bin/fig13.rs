@@ -7,17 +7,19 @@
 //! heterogeneous (bc.road) and losing where tau_glob = 8 misfits
 //! (pr.web).
 
-use gpbench::{pct, HarnessOpts, TextTable};
+use gpbench::{finish_sweeps, pct, run_or_exit, HarnessOpts, TextTable};
 use gpworkloads::{cross, SystemKind};
 use simcore::geomean;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
 
     let kinds = [SystemKind::Baseline, SystemKind::SdcLp, SystemKind::Expert];
     let points = cross(&opts.workloads(), &kinds);
-    let records = runner.run_matrix_with(&points, &opts.matrix_options("fig13"));
+    let records =
+        run_or_exit(runner.run_matrix_with(&points, &opts.matrix_options("fig13")), "fig13");
 
     let mut table = TextTable::new(vec!["workload", "SDC+LP", "Expert Programmer"]);
     let (mut s_lp, mut s_ex) = (Vec::new(), Vec::new());
@@ -37,4 +39,5 @@ fn main() {
     table.print();
     println!();
     println!("Paper reference geomeans: SDC+LP +20.3%, Expert +19.1%.");
+    finish_sweeps(&[&records])
 }

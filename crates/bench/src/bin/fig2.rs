@@ -5,15 +5,17 @@
 //! Paper reference: average MPKI 53.2 (L1D), 44.5 (L2C), 41.8 (LLC) —
 //! i.e. almost every L1D miss also misses the L2C and LLC (Findings 1-2).
 
-use gpbench::{HarnessOpts, TextTable};
+use gpbench::{finish_sweeps, run_or_exit, HarnessOpts, TextTable};
 use gpworkloads::{cross, SystemKind};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
 
     let points = cross(&opts.workloads(), &[SystemKind::Baseline]);
-    let records = runner.run_matrix_with(&points, &opts.matrix_options("fig2"));
+    let records =
+        run_or_exit(runner.run_matrix_with(&points, &opts.matrix_options("fig2")), "fig2");
 
     let mut table = TextTable::new(vec!["workload", "L1D", "L2C", "LLC", "DRAM/L1D-miss"]);
     let (mut s1, mut s2, mut s3) = (Vec::new(), Vec::new(), Vec::new());
@@ -52,4 +54,5 @@ fn main() {
     println!(
         "Paper reference averages: L1D 53.2, L2C 44.5, LLC 41.8; 78.6% of L1D misses reach DRAM."
     );
+    finish_sweeps(&[&records])
 }

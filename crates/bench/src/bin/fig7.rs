@@ -6,11 +6,12 @@
 //! Paper reference (geomean over Baseline): L1D 40KB ISO +0.0%, Distill
 //! +0.1%, T-OPT +9.4%, 2xLLC +11.2%, SDC+LP +20.3%.
 
-use gpbench::{pct, HarnessOpts, TextTable};
+use gpbench::{finish_sweeps, pct, run_or_exit, HarnessOpts, TextTable};
 use gpworkloads::{cross, SystemKind};
 use simcore::geomean;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
     let kinds = [
@@ -25,7 +26,8 @@ fn main() {
     let mut all_kinds = vec![SystemKind::Baseline];
     all_kinds.extend_from_slice(&kinds);
     let points = cross(&opts.workloads(), &all_kinds);
-    let records = runner.run_matrix_with(&points, &opts.matrix_options("fig7"));
+    let records =
+        run_or_exit(runner.run_matrix_with(&points, &opts.matrix_options("fig7")), "fig7");
 
     let mut headers = vec!["workload".to_string()];
     headers.extend(kinds.iter().map(|k| k.name().to_string()));
@@ -53,4 +55,5 @@ fn main() {
     table.print();
     println!();
     println!("Paper reference geomeans: L1D40K +0.0%, Distill +0.1%, T-OPT +9.4%, 2xLLC +11.2%, SDC+LP +20.3%");
+    finish_sweeps(&[&records])
 }

@@ -4,16 +4,18 @@
 //! Paper reference: averages drop from 44.5 / 41.8 (Baseline L2C / LLC)
 //! to 4.4 / 2.8 (SDC+LP) — the bypass removes the useless look-ups.
 
-use gpbench::{HarnessOpts, TextTable};
+use gpbench::{finish_sweeps, run_or_exit, HarnessOpts, TextTable};
 use gpworkloads::{cross, SystemKind};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
 
     let kinds = [SystemKind::Baseline, SystemKind::SdcLp];
     let points = cross(&opts.workloads(), &kinds);
-    let records = runner.run_matrix_with(&points, &opts.matrix_options("fig8"));
+    let records =
+        run_or_exit(runner.run_matrix_with(&points, &opts.matrix_options("fig8")), "fig8");
 
     let mut table =
         TextTable::new(vec!["workload", "base L2C", "base LLC", "sdclp L2C", "sdclp LLC"]);
@@ -44,4 +46,5 @@ fn main() {
     table.print();
     println!();
     println!("Paper reference averages: L2C 44.5 -> 4.4, LLC 41.8 -> 2.8.");
+    finish_sweeps(&[&records])
 }

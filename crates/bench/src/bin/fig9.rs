@@ -6,16 +6,18 @@
 //! absorbs the irregular traffic at 48.3 MPKI — the LP successfully
 //! separates the two access classes.
 
-use gpbench::{HarnessOpts, TextTable};
+use gpbench::{finish_sweeps, run_or_exit, HarnessOpts, TextTable};
 use gpworkloads::{cross, SystemKind};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
 
     let kinds = [SystemKind::Baseline, SystemKind::SdcLp];
     let points = cross(&opts.workloads(), &kinds);
-    let records = runner.run_matrix_with(&points, &opts.matrix_options("fig9"));
+    let records =
+        run_or_exit(runner.run_matrix_with(&points, &opts.matrix_options("fig9")), "fig9");
 
     let mut table =
         TextTable::new(vec!["workload", "base L1D", "sdclp L1D", "sdclp SDC", "SDC routed"]);
@@ -52,4 +54,5 @@ fn main() {
     table.print();
     println!();
     println!("Paper reference averages: L1D 53.2 -> 7.4; SDC 48.3.");
+    finish_sweeps(&[&records])
 }

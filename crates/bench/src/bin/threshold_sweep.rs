@@ -6,12 +6,13 @@
 //!
 //! Paper reference: tau_glob = 8 gives +20.3% on GAP and +0.5% on SPEC.
 
-use gpbench::{pct, HarnessOpts, TextTable};
+use gpbench::{finish_sweeps, pct, run_or_exit, HarnessOpts, TextTable};
 use gpworkloads::{MatrixPoint, RegularKind, SystemKind, SystemSpec};
 use sdclp::{LpConfig, SdcLpConfig};
 use simcore::geomean;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOpts::parse_args();
     let runner = opts.runner();
     let taus = [0u64, 2, 4, 8, 16, 32, 64, 128, 256];
@@ -32,7 +33,10 @@ fn main() {
         .into_iter()
         .flat_map(|w| specs.iter().map(move |s| MatrixPoint::new(w, s.clone())))
         .collect();
-    let records = runner.run_matrix_points(&points, &opts.matrix_options("threshold_sweep"));
+    let records = run_or_exit(
+        runner.run_matrix_points(&points, &opts.matrix_options("threshold_sweep")),
+        "threshold_sweep",
+    );
 
     let mut gap_speedups: Vec<Vec<f64>> = vec![Vec::new(); taus.len()];
     for chunk in records.chunks(specs.len()) {
@@ -74,4 +78,5 @@ fn main() {
     table.print();
     println!();
     println!("Paper reference at tau=8: GAP +20.3%, SPEC +0.5%.");
+    finish_sweeps(&[&records])
 }

@@ -6,9 +6,10 @@
 //! text-table rendering they use.
 
 use gpgraph::SuiteScale;
-use gpworkloads::{MatrixOptions, Runner};
+use gpworkloads::{MatrixOptions, RunRecord, Runner, SimError, Watchdog};
 use simcore::Window;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
 /// Command-line options shared by every figure binary.
 ///
@@ -19,6 +20,12 @@ use std::path::PathBuf;
 /// * `--manifest PATH` — where sweep binaries stream their JSONL run
 ///   manifests (default `results/manifests/<bin>.jsonl`).
 /// * `--no-manifest` — disable manifest output.
+/// * `--resume` — reload the manifest (or its `.partial` leftover) and
+///   re-run only points without a prior `ok` record.
+/// * `--fail-fast` — abort the sweep on the first failing point instead
+///   of completing the rest.
+/// * `--watchdog-cpi N` — per-point runaway ceiling of `N` cycles per
+///   windowed instruction (default 512); `--no-watchdog` disarms it.
 ///
 /// Replay parallelism is controlled by `RAYON_NUM_THREADS` (defaults to
 /// the machine's available parallelism).
@@ -32,6 +39,12 @@ pub struct HarnessOpts {
     pub manifest: Option<PathBuf>,
     /// Suppress manifest output entirely.
     pub no_manifest: bool,
+    /// Skip points with a prior `ok` manifest record.
+    pub resume: bool,
+    /// Abort on the first failing point.
+    pub fail_fast: bool,
+    /// Per-point runaway-simulation ceiling.
+    pub watchdog: Watchdog,
 }
 
 impl Default for HarnessOpts {
@@ -42,6 +55,9 @@ impl Default for HarnessOpts {
             only: None,
             manifest: None,
             no_manifest: false,
+            resume: false,
+            fail_fast: false,
+            watchdog: Watchdog::CyclesPerInstr(Watchdog::DEFAULT_CPI),
         }
     }
 }
@@ -94,7 +110,24 @@ impl HarnessOpts {
                 "--no-manifest" => {
                     opts.no_manifest = true;
                 }
-                other => panic!("unknown argument {other:?} (try --quick / --scale / --warmup / --measure / --only / --manifest / --no-manifest)"),
+                "--resume" => {
+                    opts.resume = true;
+                }
+                "--fail-fast" => {
+                    opts.fail_fast = true;
+                }
+                "--watchdog-cpi" => {
+                    opts.watchdog = Watchdog::CyclesPerInstr(
+                        it.next()
+                            .expect("--watchdog-cpi needs a value")
+                            .parse()
+                            .expect("bad --watchdog-cpi"),
+                    );
+                }
+                "--no-watchdog" => {
+                    opts.watchdog = Watchdog::Off;
+                }
+                other => panic!("unknown argument {other:?} (try --quick / --scale / --warmup / --measure / --only / --manifest / --no-manifest / --resume / --fail-fast / --watchdog-cpi / --no-watchdog)"),
             }
         }
         opts.window = Window::new(
@@ -137,6 +170,11 @@ impl HarnessOpts {
                 None => PathBuf::from(format!("results/manifests/{tag}.jsonl")),
             });
         }
+        // Resume needs a manifest to resume from; with --no-manifest it
+        // silently degenerates to a plain run.
+        m.resume = self.resume && m.manifest_path.is_some();
+        m.fail_fast = self.fail_fast;
+        m.watchdog = self.watchdog;
         m
     }
 
@@ -144,6 +182,45 @@ impl HarnessOpts {
     pub fn workloads(&self) -> Vec<gpworkloads::Workload> {
         gpworkloads::all_workloads().into_iter().filter(|w| self.selected(&w.name())).collect()
     }
+}
+
+/// Unwrap a sweep result or exit(2) with the sweep-level error (manifest
+/// I/O failure or a `--fail-fast` abort). Point-level failures do NOT take
+/// this path — they come back as non-ok [`RunRecord`]s and are accounted
+/// at the end via [`finish_sweeps`].
+pub fn run_or_exit(result: Result<Vec<RunRecord>, SimError>, tag: &str) -> Vec<RunRecord> {
+    match result {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("error: sweep {tag} aborted: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// How many points across these sweeps failed or timed out.
+pub fn failed_points(sweeps: &[&[RunRecord]]) -> usize {
+    sweeps.iter().flat_map(|s| s.iter()).filter(|r| !r.is_ok()).count()
+}
+
+/// The harness exit protocol: report any failed/timed-out points to
+/// stderr and exit nonzero, so a sweep that completed around bad points
+/// (panic isolation) still fails CI. Call once at the end of `main` with
+/// every sweep the binary ran.
+pub fn finish_sweeps(sweeps: &[&[RunRecord]]) -> ExitCode {
+    let failed = failed_points(sweeps);
+    if failed == 0 {
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("error: {failed} point(s) failed or timed out:");
+    for rec in sweeps.iter().flat_map(|s| s.iter()).filter(|r| !r.is_ok()) {
+        eprintln!(
+            "  {} on {}: {} ({})",
+            rec.manifest.workload, rec.label, rec.manifest.status, rec.manifest.error
+        );
+    }
+    eprintln!("hint: fix or exclude the points above, then re-run with --resume");
+    ExitCode::FAILURE
 }
 
 /// Minimal fixed-width text table writer for figure/table output.
@@ -249,6 +326,28 @@ mod tests {
 
         let o = HarnessOpts::parse(vec!["--no-manifest".to_string()]);
         assert_eq!(o.matrix_options("fig7").manifest_path, None);
+    }
+
+    #[test]
+    fn fault_tolerance_flags_control_matrix_options() {
+        let o = HarnessOpts::parse(Vec::<String>::new());
+        let m = o.matrix_options("fig7");
+        assert!(!m.resume && !m.fail_fast);
+        assert_eq!(m.watchdog, Watchdog::CyclesPerInstr(Watchdog::DEFAULT_CPI));
+
+        let args: Vec<String> =
+            ["--resume", "--fail-fast", "--watchdog-cpi", "64"].map(String::from).into();
+        let o = HarnessOpts::parse(args);
+        let m = o.matrix_options("fig7");
+        assert!(m.resume && m.fail_fast);
+        assert_eq!(m.watchdog, Watchdog::CyclesPerInstr(64));
+
+        let o = HarnessOpts::parse(vec!["--no-watchdog".to_string()]);
+        assert_eq!(o.matrix_options("fig7").watchdog, Watchdog::Off);
+
+        // --resume without a manifest degenerates to a plain run.
+        let args: Vec<String> = ["--resume", "--no-manifest"].map(String::from).into();
+        assert!(!HarnessOpts::parse(args).matrix_options("fig7").resume);
     }
 
     #[test]

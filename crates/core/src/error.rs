@@ -1,0 +1,141 @@
+//! Structured error taxonomy for the simulation/runner path.
+//!
+//! The sweep executor (`gpworkloads::matrix`) and the input decoders
+//! (`gpgraph::io`, `simcore::trace_io`) previously signalled failure by
+//! panicking (`expect`, `from_raw` contract panics), which meant one
+//! corrupt cache file or one pathological design point aborted a whole
+//! characterization campaign. [`SimError`] is the typed replacement: every
+//! fault a long sweep can hit has a variant carrying enough context to be
+//! reported in a manifest record and acted on by `--resume`.
+//!
+//! Lower-layer crates keep their own narrow error types
+//! (`gpgraph::GraphIoError`, `simcore::trace_io::TraceIoError`) so they
+//! stay dependency-free; this taxonomy is where the runner path folds them
+//! together (see the `From` impls the `gpworkloads` crate applies via
+//! [`SimError::corrupt_graph`] / [`SimError::corrupt_trace`]).
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong while executing a sweep matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A matrix point's simulation panicked; the panic was contained and
+    /// the rest of the sweep completed.
+    PointPanicked {
+        /// Workload name, e.g. `cc.urand`.
+        workload: String,
+        /// System/design label, e.g. `SDC+LP` or `tau=16`.
+        system: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A matrix point exceeded its watchdog budget and was cut off.
+    PointTimedOut {
+        workload: String,
+        system: String,
+        /// Cycles simulated when the watchdog fired.
+        cycles: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
+    /// A `fail_fast` sweep aborted on its first failure.
+    Aborted {
+        /// Description of the point that triggered the abort.
+        point: String,
+        /// The underlying failure, rendered.
+        detail: String,
+    },
+    /// Reading or writing a run-manifest file failed.
+    ManifestIo { path: PathBuf, detail: String },
+    /// A run-manifest line could not be parsed during `--resume`.
+    ManifestParse { path: PathBuf, line: usize, detail: String },
+    /// A serialized trace failed decoding/validation.
+    CorruptTrace { detail: String },
+    /// A serialized graph failed decoding/validation.
+    CorruptGraph { detail: String },
+    /// A configuration was structurally invalid.
+    InvalidConfig { detail: String },
+}
+
+impl SimError {
+    /// Fold a graph-decoder error (rendered) into the taxonomy.
+    pub fn corrupt_graph(detail: impl fmt::Display) -> Self {
+        SimError::CorruptGraph { detail: detail.to_string() }
+    }
+
+    /// Fold a trace-decoder error (rendered) into the taxonomy.
+    pub fn corrupt_trace(detail: impl fmt::Display) -> Self {
+        SimError::CorruptTrace { detail: detail.to_string() }
+    }
+
+    /// Manifest I/O failure at `path`.
+    pub fn manifest_io(path: impl Into<PathBuf>, detail: impl fmt::Display) -> Self {
+        SimError::ManifestIo { path: path.into(), detail: detail.to_string() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PointPanicked { workload, system, message } => {
+                write!(f, "point {workload} on {system} panicked: {message}")
+            }
+            SimError::PointTimedOut { workload, system, cycles, limit } => write!(
+                f,
+                "point {workload} on {system} exceeded its watchdog budget \
+                 ({cycles} cycles, limit {limit})"
+            ),
+            SimError::Aborted { point, detail } => {
+                write!(f, "sweep aborted (fail-fast) at {point}: {detail}")
+            }
+            SimError::ManifestIo { path, detail } => {
+                write!(f, "manifest I/O failed at {}: {detail}", path.display())
+            }
+            SimError::ManifestParse { path, line, detail } => {
+                write!(f, "manifest {}:{line}: {detail}", path.display())
+            }
+            SimError::CorruptTrace { detail } => write!(f, "corrupt trace: {detail}"),
+            SimError::CorruptGraph { detail } => write!(f, "corrupt graph: {detail}"),
+            SimError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = SimError::PointPanicked {
+            workload: "cc.urand".into(),
+            system: "SDC+LP".into(),
+            message: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cc.urand") && s.contains("SDC+LP") && s.contains("boom"));
+
+        let e = SimError::PointTimedOut {
+            workload: "pr.kron".into(),
+            system: "Baseline".into(),
+            cycles: 1000,
+            limit: 500,
+        };
+        assert!(e.to_string().contains("watchdog"));
+
+        let e = SimError::manifest_io("/tmp/x.jsonl", "disk full");
+        assert!(e.to_string().contains("x.jsonl") && e.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn helpers_fold_lower_layer_errors() {
+        assert_eq!(
+            SimError::corrupt_trace("checksum mismatch"),
+            SimError::CorruptTrace { detail: "checksum mismatch".into() }
+        );
+        assert!(SimError::corrupt_graph("bad magic").to_string().contains("bad magic"));
+    }
+}

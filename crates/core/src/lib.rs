@@ -35,6 +35,7 @@
 
 pub mod budget;
 pub mod config;
+pub mod error;
 pub mod lp;
 pub mod router;
 pub mod sdcdir;
@@ -42,6 +43,7 @@ pub mod system;
 
 pub use budget::HardwareBudget;
 pub use config::{LpConfig, SdcConfig, SdcDirConfig, SdcLpConfig};
+pub use error::SimError;
 pub use lp::{LargePredictor, Route};
 pub use router::{ExpertRouter, LpRouter, Router, StaticRouter};
 pub use sdcdir::SdcDir;

@@ -19,11 +19,21 @@ impl Csr {
     /// Build from raw arrays. `offsets` must be monotonically non-decreasing,
     /// have length `V + 1`, start at 0 and end at `neighbors.len()`, and all
     /// neighbor ids must be `< V`.
+    ///
+    /// Panics on malformed arrays — for trusted in-process construction
+    /// (generators, builders). Untrusted bytes (disk caches, user files)
+    /// must go through [`Csr::try_from_raw`] instead.
     pub fn from_raw(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Self {
+        // simlint::allow(unwrap): documented contract — from_raw panics on malformed arrays; use try_from_raw() to handle errors
+        Csr::try_from_raw(offsets, neighbors).expect("invalid CSR arrays")
+    }
+
+    /// Fallible [`Csr::from_raw`]: returns the structural violation instead
+    /// of panicking, so decoders can reject corrupt input gracefully.
+    pub fn try_from_raw(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Result<Self, String> {
         let g = Csr { offsets, neighbors };
-        // simlint::allow(unwrap): documented contract — from_raw panics on malformed arrays; use validate() to handle errors
-        g.validate().expect("invalid CSR arrays");
-        g
+        g.validate()?;
+        Ok(g)
     }
 
     /// Check all structural invariants.
@@ -168,6 +178,16 @@ mod tests {
     #[should_panic(expected = "invalid CSR")]
     fn rejects_out_of_range_neighbor() {
         Csr::from_raw(vec![0, 1], vec![5]);
+    }
+
+    #[test]
+    fn try_from_raw_reports_instead_of_panicking() {
+        let err = Csr::try_from_raw(vec![0, 3, 2], vec![0, 1]).unwrap_err();
+        assert!(err.contains("non-decreasing") || err.contains("offset"), "err: {err}");
+        let err = Csr::try_from_raw(vec![0, 1], vec![5]).unwrap_err();
+        assert!(err.contains("out of range"), "err: {err}");
+        assert!(Csr::try_from_raw(vec![], vec![]).is_err());
+        assert!(Csr::try_from_raw(vec![0, 2, 3, 4, 5], vec![1, 2, 2, 0, 2]).is_ok());
     }
 
     #[test]

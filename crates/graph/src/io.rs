@@ -1,48 +1,101 @@
 //! Graph serialization: a plain-text edge-list format (one `u v` pair per
 //! line, `#` comments) and a compact binary CSR format for caching the
 //! generated suite graphs between harness runs.
+//!
+//! All decode paths return the typed [`GraphIoError`] and never panic:
+//! a corrupt cache file (bad magic, truncation, non-monotone offsets,
+//! out-of-range edges) is a recoverable condition — the runner falls back
+//! to regenerating the graph.
 
 use crate::builder::{build_csr, BuildOptions};
 use crate::csr::{Csr, VertexId};
+use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// Magic bytes of the binary CSR format.
 const MAGIC: &[u8; 8] = b"GPCSRv1\0";
 
+/// Why a graph failed to decode.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure (not a format problem).
+    Io(io::Error),
+    /// The file does not start with the CSR magic.
+    BadMagic,
+    /// The byte stream ended before the declared payload.
+    Truncated,
+    /// The decoded arrays violate a CSR structural invariant
+    /// (non-monotone offsets, out-of-range neighbor ids, bad bounds).
+    InvalidCsr { detail: String },
+    /// An edge-list line did not parse as `src dst`.
+    BadLine { line: u64, content: String },
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "graph I/O error: {e}"),
+            GraphIoError::BadMagic => write!(f, "bad CSR magic"),
+            GraphIoError::Truncated => write!(f, "graph file is truncated"),
+            GraphIoError::InvalidCsr { detail } => write!(f, "invalid CSR: {detail}"),
+            GraphIoError::BadLine { line, content } => {
+                write!(f, "edge list line {line}: cannot parse {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphIoError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            GraphIoError::Truncated
+        } else {
+            GraphIoError::Io(e)
+        }
+    }
+}
+
 /// Parse an edge list from a reader. Lines starting with `#` or `%` are
 /// comments; each other line is `src dst` (whitespace-separated).
-pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Vec<(VertexId, VertexId)>> {
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Vec<(VertexId, VertexId)>, GraphIoError> {
     let mut edges = Vec::new();
-    let reader = BufReader::new(reader);
+    let mut r = BufReader::new(reader);
     let mut line = String::new();
-    let mut r = reader;
+    let mut line_no: u64 = 0;
     loop {
         line.clear();
         if r.read_line(&mut line)? == 0 {
             break;
         }
+        line_no += 1;
         let l = line.trim();
         if l.is_empty() || l.starts_with('#') || l.starts_with('%') {
             continue;
         }
+        let bad = || GraphIoError::BadLine { line: line_no, content: l.to_string() };
         let mut it = l.split_whitespace();
         let (Some(a), Some(b)) = (it.next(), it.next()) else {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad line: {l:?}")));
+            return Err(bad());
         };
-        let u: VertexId = a
-            .parse()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}: {a:?}")))?;
-        let v: VertexId = b
-            .parse()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}: {b:?}")))?;
+        let u: VertexId = a.parse().map_err(|_| bad())?;
+        let v: VertexId = b.parse().map_err(|_| bad())?;
         edges.push((u, v));
     }
     Ok(edges)
 }
 
 /// Load a graph from an edge-list file.
-pub fn load_edge_list<P: AsRef<Path>>(path: P, opts: BuildOptions) -> io::Result<Csr> {
+pub fn load_edge_list<P: AsRef<Path>>(path: P, opts: BuildOptions) -> Result<Csr, GraphIoError> {
     let edges = read_edge_list(std::fs::File::open(path)?)?;
     let n = edges.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0);
     Ok(build_csr(n, &edges, opts))
@@ -73,13 +126,15 @@ pub fn write_binary<W: Write>(g: &Csr, writer: W) -> io::Result<()> {
     w.flush()
 }
 
-/// Deserialize a CSR from the compact binary format.
-pub fn read_binary<R: Read>(reader: R) -> io::Result<Csr> {
+/// Deserialize a CSR from the compact binary format, validating every
+/// structural invariant (monotone offsets, in-range neighbor ids) before
+/// the graph is handed to any kernel.
+pub fn read_binary<R: Read>(reader: R) -> Result<Csr, GraphIoError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(GraphIoError::BadMagic);
     }
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf8)?;
@@ -87,19 +142,20 @@ pub fn read_binary<R: Read>(reader: R) -> io::Result<Csr> {
     r.read_exact(&mut buf8)?;
     let e = u64::from_le_bytes(buf8) as usize;
 
-    let mut offsets = Vec::with_capacity(v + 1);
+    // Capacity hints are clamped so a corrupt header cannot force an
+    // absurd up-front allocation; truncation is caught by read_exact.
+    let mut offsets = Vec::with_capacity(v.min(1 << 24) + 1);
     for _ in 0..=v {
         r.read_exact(&mut buf8)?;
         offsets.push(u64::from_le_bytes(buf8));
     }
     let mut buf4 = [0u8; 4];
-    let mut neighbors = Vec::with_capacity(e);
+    let mut neighbors = Vec::with_capacity(e.min(1 << 26));
     for _ in 0..e {
         r.read_exact(&mut buf4)?;
         neighbors.push(VertexId::from_le_bytes(buf4));
     }
-    let g = Csr::from_raw(offsets, neighbors);
-    Ok(g)
+    Csr::try_from_raw(offsets, neighbors).map_err(|detail| GraphIoError::InvalidCsr { detail })
 }
 
 /// Save to / load from a binary file path.
@@ -107,7 +163,7 @@ pub fn save<P: AsRef<Path>>(g: &Csr, path: P) -> io::Result<()> {
     write_binary(g, std::fs::File::create(path)?)
 }
 
-pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Csr, GraphIoError> {
     read_binary(std::fs::File::open(path)?)
 }
 
@@ -133,8 +189,14 @@ mod tests {
     }
 
     #[test]
-    fn edge_list_rejects_garbage() {
-        assert!(read_edge_list("0 x\n".as_bytes()).is_err());
+    fn edge_list_rejects_garbage_with_line_numbers() {
+        match read_edge_list("0 1\n0 x\n".as_bytes()) {
+            Err(GraphIoError::BadLine { line, content }) => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "0 x");
+            }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
         assert!(read_edge_list("justone\n".as_bytes()).is_err());
     }
 
@@ -150,7 +212,7 @@ mod tests {
     #[test]
     fn binary_rejects_bad_magic() {
         let buf = b"NOTCSRXXrestofdata".to_vec();
-        assert!(read_binary(&buf[..]).is_err());
+        assert!(matches!(read_binary(&buf[..]), Err(GraphIoError::BadMagic)));
     }
 
     #[test]
@@ -159,6 +221,44 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
+        assert!(matches!(read_binary(&buf[..]), Err(GraphIoError::Truncated)));
+    }
+
+    /// A cache file with an out-of-range neighbor id must come back as a
+    /// typed error — this used to panic through `Csr::from_raw`.
+    #[test]
+    fn binary_rejects_out_of_range_edge_without_panicking() {
+        let g = kron(6, 2, 1);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Overwrite the last neighbor id with a vertex far out of range.
+        let n = buf.len();
+        buf[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        match read_binary(&buf[..]) {
+            Err(GraphIoError::InvalidCsr { detail }) => {
+                assert!(detail.contains("out of range"), "detail: {detail}");
+            }
+            other => panic!("expected InvalidCsr, got {other:?}"),
+        }
+    }
+
+    /// Non-monotone offsets are likewise a typed error, not a panic.
+    #[test]
+    fn binary_rejects_non_monotone_offsets() {
+        let g = Csr::from_raw(vec![0, 2, 3, 4, 5], vec![1, 2, 2, 0, 2]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Offsets start at byte 24; make the second offset huge.
+        buf[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(read_binary(&buf[..]), Err(GraphIoError::InvalidCsr { .. })));
+    }
+
+    #[test]
+    fn corrupt_header_counts_cannot_force_huge_allocation() {
+        let g = kron(6, 2, 1);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(read_binary(&buf[..]).is_err());
     }
 }

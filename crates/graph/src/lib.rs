@@ -25,5 +25,6 @@ pub mod transpose;
 pub use builder::{build_csr, BuildOptions};
 pub use csr::{Csr, VertexId};
 pub use degree::DegreeStats;
+pub use io::GraphIoError;
 pub use suite::{build, GraphInput, SuiteScale};
 pub use transpose::transpose;

@@ -25,6 +25,43 @@ impl Window {
     }
 }
 
+/// Watchdog ceilings for one simulation run. All limits are deterministic
+/// functions of simulated state (cycles, trace events) — never wall-clock —
+/// so a budgeted run is exactly reproducible.
+///
+/// A run that crosses a ceiling stops consuming input and is flagged
+/// [`Engine::timed_out`]; [`Engine::finish`] still returns the partial
+/// result, so the sweep layer can record a graceful `timed_out` outcome
+/// instead of hanging a shard on a pathological configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Ceiling on total simulated cycles (warmup + measurement).
+    pub max_cycles: Option<u64>,
+    /// Ceiling on memory events consumed from the trace.
+    pub max_events: Option<u64>,
+}
+
+impl Budget {
+    /// No ceilings (the default).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Cycle ceiling only.
+    pub fn cycles(max: u64) -> Self {
+        Budget { max_cycles: Some(max), max_events: None }
+    }
+
+    /// Memory-event ceiling only.
+    pub fn events(max: u64) -> Self {
+        Budget { max_cycles: None, max_events: Some(max) }
+    }
+
+    pub fn is_unlimited(&self) -> bool {
+        self.max_cycles.is_none() && self.max_events.is_none()
+    }
+}
+
 /// The engine: owns the core model and the memory system under test.
 ///
 /// Implements [`Tracer`], so an instrumented kernel can stream into it
@@ -38,6 +75,9 @@ pub struct Engine<M: MemorySystem> {
     measure_start_cycle: u64,
     in_measurement: bool,
     profiler: Option<StrideProfiler>,
+    budget: Budget,
+    mem_events: u64,
+    timed_out: bool,
 }
 
 impl<M: MemorySystem> Engine<M> {
@@ -50,6 +90,9 @@ impl<M: MemorySystem> Engine<M> {
             measure_start_cycle: 0,
             in_measurement: false,
             profiler: None,
+            budget: Budget::default(),
+            mem_events: 0,
+            timed_out: false,
         };
         if window.warmup == 0 {
             e.begin_measurement();
@@ -60,6 +103,35 @@ impl<M: MemorySystem> Engine<M> {
     /// Enable the PC-stride profiler (Fig. 3 instrumentation).
     pub fn enable_stride_profiler(&mut self) {
         self.profiler = Some(StrideProfiler::new());
+    }
+
+    /// Arm the runaway-simulation watchdog. See [`Budget`].
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Did the run cross a watchdog ceiling? (The partial result from
+    /// [`Engine::finish`] is still valid measurement data up to the cut.)
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+
+    /// Total simulated cycles so far.
+    pub fn current_cycle(&self) -> u64 {
+        self.rob.current_cycle()
+    }
+
+    fn check_budget(&mut self) {
+        if let Some(max) = self.budget.max_cycles {
+            if self.rob.current_cycle() >= max {
+                self.timed_out = true;
+            }
+        }
+        if let Some(max) = self.budget.max_events {
+            if self.mem_events >= max {
+                self.timed_out = true;
+            }
+        }
     }
 
     fn begin_measurement(&mut self) {
@@ -97,6 +169,9 @@ impl<M: MemorySystem> Engine<M> {
     fn bubble_n(&mut self, n: u64) {
         self.rob.bubbles(n);
         self.note_instructions(n);
+        if !self.budget.is_unlimited() {
+            self.check_budget();
+        }
     }
 
     /// Finish the run and produce the measurement-window result.
@@ -139,6 +214,10 @@ impl<M: MemorySystem> Tracer for Engine<M> {
             }
         }
         self.note_instructions(1);
+        self.mem_events += 1;
+        if !self.budget.is_unlimited() {
+            self.check_budget();
+        }
     }
 
     fn bubble(&mut self, n: u32) {
@@ -149,7 +228,7 @@ impl<M: MemorySystem> Tracer for Engine<M> {
     }
 
     fn done(&self) -> bool {
-        self.instrs >= self.window.total()
+        self.timed_out || self.instrs >= self.window.total()
     }
 }
 
@@ -254,6 +333,84 @@ mod tests {
         }
         let profile = e.stride_profile().unwrap();
         assert!(profile.accesses[1] > 50);
+    }
+
+    #[test]
+    fn cycle_budget_cuts_replay_and_flags_timeout() {
+        let mut rec = RecordingTracer::new(50_000);
+        let mut i = 0u64;
+        while !rec.done() {
+            rec.load(1, 0, (i * 48_271) % 400_000 * 64); // miss-heavy scan
+            rec.bubble(1);
+            i += 1;
+        }
+        let trace = rec.finish();
+
+        let mut free = engine(Window::new(0, 50_000));
+        free.replay(&trace);
+        assert!(!free.timed_out());
+        let full_cycles = free.finish().cycles;
+
+        let mut capped = engine(Window::new(0, 50_000));
+        capped.set_budget(Budget::cycles(full_cycles / 4));
+        capped.replay(&trace);
+        assert!(capped.timed_out(), "budget below the full run must fire");
+        let partial = capped.finish();
+        assert!(partial.cycles < full_cycles);
+        assert!(partial.instructions > 0, "partial result still carries data");
+    }
+
+    #[test]
+    fn event_budget_counts_memory_events() {
+        let mut e = engine(Window::new(0, 10_000));
+        e.set_budget(Budget::events(100));
+        for i in 0..1000u64 {
+            if e.done() {
+                break;
+            }
+            e.load(1, 0, i * 64);
+        }
+        assert!(e.timed_out());
+        assert_eq!(e.instructions(), 100);
+    }
+
+    #[test]
+    fn budget_runs_are_deterministic() {
+        let run = || {
+            let mut e = engine(Window::new(0, 20_000));
+            e.set_budget(Budget::cycles(5_000));
+            let mut i = 0u64;
+            while !e.done() {
+                e.load(1, 0, (i * 7919) % 100_000 * 64);
+                e.bubble(1);
+                i += 1;
+            }
+            let timed = e.timed_out();
+            (timed, e.finish())
+        };
+        let (ta, a) = run();
+        let (tb, b) = run();
+        assert!(ta && tb);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing() {
+        let run = |budget: Option<Budget>| {
+            let mut e = engine(Window::new(100, 5000));
+            if let Some(b) = budget {
+                e.set_budget(b);
+            }
+            let mut i = 0u64;
+            while !e.done() {
+                e.load(2, 1, (i * 31) % 5000 * 64);
+                e.bubble(1);
+                i += 1;
+            }
+            e.finish()
+        };
+        assert_eq!(run(None), run(Some(Budget::unlimited())));
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod trace_io;
 pub mod victim;
 
 pub use config::SystemConfig;
-pub use engine::{Engine, Window};
+pub use engine::{Budget, Engine, Window};
 pub use hierarchy::{
     AccessOutcome, BaselineHierarchy, CoreMemory, CoreSide, MemorySystem, ServedBy, SharedBackend,
     SingleCore,

@@ -1,48 +1,167 @@
 //! On-disk format for recorded traces, so the ChampSim-style record-once/
 //! replay-everywhere methodology can also span harness invocations.
 //!
-//! Layout: an 8-byte magic, the instruction count, the event count, then
-//! the packed 16-byte events (all little-endian).
+//! Layout (all little-endian):
+//!
+//! ```text
+//! [8B magic "GPTRCv2\0"] [u64 instructions] [u64 event count]
+//! [count x 16B packed events]
+//! [u64 event count echo] [u64 FNV-1a checksum]   <- integrity footer
+//! ```
+//!
+//! The footer makes silent corruption loud: the count echo catches files
+//! truncated at an event boundary (where `read_exact` alone cannot), and
+//! the checksum — FNV-1a over everything between the magic and the footer —
+//! catches bit flips anywhere in the header or event payload. Decoding
+//! failures are reported through the typed [`TraceIoError`], never a
+//! panic, so a corrupt cache file degrades to a re-record instead of
+//! aborting a sweep.
 
 use crate::trace::{CompactTrace, TraceEvent};
+use std::fmt;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"GPTRCv1\0";
+const MAGIC: &[u8; 8] = b"GPTRCv2\0";
+/// The footer-less v1 magic; rejected with a version error (old cache
+/// files carry no checksum, so they are simply regenerated).
+const MAGIC_V1: &[u8; 8] = b"GPTRCv1\0";
 
-/// Serialize a trace.
+/// Why a trace failed to decode.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure (not a format problem).
+    Io(io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// A recognized-but-unsupported format version (e.g. footer-less v1).
+    UnsupportedVersion,
+    /// The byte stream ended before the declared payload.
+    Truncated,
+    /// The footer's event-count echo disagrees with the header.
+    LengthMismatch { header: u64, footer: u64 },
+    /// The footer checksum does not match the decoded bytes.
+    ChecksumMismatch { expected: u64, found: u64 },
+    /// Header instruction count disagrees with the events' own counts.
+    InstructionCountMismatch { header: u64, counted: u64 },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::BadMagic => write!(f, "bad trace magic"),
+            TraceIoError::UnsupportedVersion => {
+                write!(f, "unsupported trace format version (expected GPTRCv2)")
+            }
+            TraceIoError::Truncated => write!(f, "trace file is truncated"),
+            TraceIoError::LengthMismatch { header, footer } => {
+                write!(f, "trace length mismatch: header says {header} events, footer {footer}")
+            }
+            TraceIoError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "trace checksum mismatch: footer {expected:#018x}, computed {found:#018x}"
+            ),
+            TraceIoError::InstructionCountMismatch { header, counted } => {
+                write!(f, "trace header says {header} instructions, events sum to {counted}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceIoError::Truncated
+        } else {
+            TraceIoError::Io(e)
+        }
+    }
+}
+
+/// Streaming FNV-1a (64-bit) — dependency-free, stable across platforms.
+#[derive(Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Serialize a trace (with the integrity footer).
 pub fn write_trace<W: Write>(trace: &CompactTrace, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
+    let mut sum = Fnv1a::new();
+    let put = |w: &mut BufWriter<W>, sum: &mut Fnv1a, bytes: &[u8]| -> io::Result<()> {
+        sum.update(bytes);
+        w.write_all(bytes)
+    };
     w.write_all(MAGIC)?;
-    w.write_all(&trace.instructions.to_le_bytes())?;
-    w.write_all(&(trace.events.len() as u64).to_le_bytes())?;
+    put(&mut w, &mut sum, &trace.instructions.to_le_bytes())?;
+    put(&mut w, &mut sum, &(trace.events.len() as u64).to_le_bytes())?;
     for e in &trace.events {
-        w.write_all(&e.addr.to_le_bytes())?;
-        w.write_all(&e.next_use.to_le_bytes())?;
-        w.write_all(&e.pc.to_le_bytes())?;
-        w.write_all(&[e.sid, e.flags])?;
+        put(&mut w, &mut sum, &e.addr.to_le_bytes())?;
+        put(&mut w, &mut sum, &e.next_use.to_le_bytes())?;
+        put(&mut w, &mut sum, &e.pc.to_le_bytes())?;
+        put(&mut w, &mut sum, &[e.sid, e.flags])?;
     }
+    w.write_all(&(trace.events.len() as u64).to_le_bytes())?;
+    w.write_all(&sum.finish().to_le_bytes())?;
     w.flush()
 }
 
-/// Deserialize a trace.
-pub fn read_trace<R: Read>(reader: R) -> io::Result<CompactTrace> {
+/// Deserialize a trace, verifying the length + checksum footer.
+pub fn read_trace<R: Read>(reader: R) -> Result<CompactTrace, TraceIoError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    if &magic == MAGIC_V1 {
+        return Err(TraceIoError::UnsupportedVersion);
     }
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let mut sum = Fnv1a::new();
     let mut b8 = [0u8; 8];
     r.read_exact(&mut b8)?;
+    sum.update(&b8);
     let instructions = u64::from_le_bytes(b8);
     r.read_exact(&mut b8)?;
-    let count = u64::from_le_bytes(b8) as usize;
+    sum.update(&b8);
+    let count = u64::from_le_bytes(b8);
 
-    let mut events = Vec::with_capacity(count);
+    // Capacity hint is clamped: a corrupt header must not be able to
+    // request an absurd up-front allocation — truncation is detected by
+    // read_exact long before a real file that large could exist.
+    let mut events = Vec::with_capacity((count as usize).min(1 << 20));
     let mut rec = [0u8; 16];
     for _ in 0..count {
         r.read_exact(&mut rec)?;
+        sum.update(&rec);
         // Fixed-width field splits: sized arrays keep this infallible
         // without any try_into().unwrap() on the hot decode path.
         let mut addr = [0u8; 8];
@@ -59,21 +178,27 @@ pub fn read_trace<R: Read>(reader: R) -> io::Result<CompactTrace> {
             flags: rec[15],
         });
     }
+    r.read_exact(&mut b8)?;
+    let footer_count = u64::from_le_bytes(b8);
+    if footer_count != count {
+        return Err(TraceIoError::LengthMismatch { header: count, footer: footer_count });
+    }
+    r.read_exact(&mut b8)?;
+    let expected = u64::from_le_bytes(b8);
+    let found = sum.finish();
+    if expected != found {
+        return Err(TraceIoError::ChecksumMismatch { expected, found });
+    }
+
     let trace = CompactTrace { events, instructions };
     validate(&trace)?;
     Ok(trace)
 }
 
-fn validate(trace: &CompactTrace) -> io::Result<()> {
+fn validate(trace: &CompactTrace) -> Result<(), TraceIoError> {
     let counted: u64 = trace.events.iter().map(|e| e.instr_count()).sum();
     if counted != trace.instructions {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "trace header says {} instructions, events sum to {counted}",
-                trace.instructions
-            ),
-        ));
+        return Err(TraceIoError::InstructionCountMismatch { header: trace.instructions, counted });
     }
     Ok(())
 }
@@ -83,7 +208,7 @@ pub fn save<P: AsRef<Path>>(trace: &CompactTrace, path: P) -> io::Result<()> {
     write_trace(trace, std::fs::File::create(path)?)
 }
 
-pub fn load<P: AsRef<Path>>(path: P) -> io::Result<CompactTrace> {
+pub fn load<P: AsRef<Path>>(path: P) -> Result<CompactTrace, TraceIoError> {
     read_trace(std::fs::File::open(path)?)
 }
 
@@ -118,7 +243,15 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&sample_trace(), &mut buf).unwrap();
         buf[0] ^= 0xFF;
-        assert!(read_trace(&buf[..]).is_err());
+        assert!(matches!(read_trace(&buf[..]), Err(TraceIoError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_v1_files_as_unsupported() {
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), &mut buf).unwrap();
+        buf[..8].copy_from_slice(MAGIC_V1);
+        assert!(matches!(read_trace(&buf[..]), Err(TraceIoError::UnsupportedVersion)));
     }
 
     #[test]
@@ -126,15 +259,51 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&sample_trace(), &mut buf).unwrap();
         buf.truncate(buf.len() - 7);
+        assert!(matches!(read_trace(&buf[..]), Err(TraceIoError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_truncation_at_event_boundary() {
+        // Drop exactly one 16-byte event plus the footer: every read_exact
+        // call would still succeed on the shifted bytes without the
+        // footer's count echo / checksum.
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 16 - 16);
         assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_single_bit_flip_anywhere_in_payload() {
+        let mut pristine = Vec::new();
+        write_trace(&sample_trace(), &mut pristine).unwrap();
+        // Flip a bit in an event body (past the 24-byte header): without
+        // the checksum this decoded silently into wrong replay input.
+        for &pos in &[24usize, 25, pristine.len() / 2, pristine.len() - 17] {
+            let mut buf = pristine.clone();
+            buf[pos] ^= 0x10;
+            assert!(
+                read_trace(&buf[..]).is_err(),
+                "bit flip at byte {pos} must not decode cleanly"
+            );
+        }
     }
 
     #[test]
     fn rejects_inconsistent_instruction_count() {
         let mut buf = Vec::new();
         write_trace(&sample_trace(), &mut buf).unwrap();
-        // Corrupt the instruction-count header field.
+        // Corrupt the instruction-count header field (checksum catches it).
         buf[8] ^= 0x01;
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn corrupt_header_count_cannot_force_huge_allocation() {
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), &mut buf).unwrap();
+        // Claim u64::MAX events; decode must fail on truncation, not OOM.
+        buf[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(read_trace(&buf[..]).is_err());
     }
 
@@ -146,5 +315,17 @@ mod tests {
         let back = read_trace(&buf[..]).unwrap();
         assert!(back.is_empty());
         assert_eq!(back.instructions, 0);
+    }
+
+    #[test]
+    fn save_load_round_trips_via_path() {
+        let dir = std::env::temp_dir().join("sdclp-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trc");
+        let trace = sample_trace();
+        save(&trace, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(trace.events, back.events);
+        let _ = std::fs::remove_file(&path);
     }
 }

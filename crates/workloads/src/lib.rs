@@ -7,6 +7,7 @@
 //! a trace-caching [`Runner`] that makes every comparison input-identical.
 
 pub mod configs;
+mod manifest;
 pub mod matrix;
 pub mod multicore;
 pub mod regular;
@@ -14,8 +15,11 @@ pub mod runner;
 pub mod singlecore;
 
 pub use configs::{build_multicore, build_system, SystemKind};
-pub use matrix::{cross, MatrixOptions, MatrixPoint, RunManifest, RunRecord, SystemSpec};
+pub use matrix::{
+    cross, MatrixOptions, MatrixPoint, PointStatus, RunManifest, RunRecord, SystemSpec, Watchdog,
+};
 pub use multicore::{generate_mixes, paper_mixes, Mix, MulticoreRunner, MIX_WIDTH};
 pub use regular::{run_regular, RegularKind};
 pub use runner::Runner;
+pub use sdclp::SimError;
 pub use singlecore::{all_workloads, cc_friendster, Workload};

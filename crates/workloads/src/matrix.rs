@@ -1,4 +1,4 @@
-//! Parallel sweep executor with run manifests.
+//! Parallel, fault-tolerant sweep executor with run manifests.
 //!
 //! Every harness binary ultimately evaluates a *matrix* of (workload,
 //! system) points. This module runs such a matrix on a thread pool with
@@ -13,29 +13,55 @@
 //! results are byte-identical to sequential [`Runner::run_one`] calls —
 //! `tests` below pins that property.
 //!
-//! Each completed point yields a [`RunRecord`]: the [`SimResult`] plus a
-//! serializable [`RunManifest`] (workload, system, config hash, window,
-//! skip, trace length, wall-clock seconds). Manifests can be written to a
-//! JSONL file for post-processing; lines are emitted in *input order* after
-//! the run completes, so two identical invocations produce byte-identical
-//! manifest files (wall-clock seconds are recorded only when
-//! [`MatrixOptions::walltime`] is on — tests keep it off to stay
-//! reproducible). A progress line per completed point goes to stderr.
+//! ## Fault tolerance
+//!
+//! A multi-hour characterization campaign must survive individual bad
+//! points, so the executor contains three failure domains per point:
+//!
+//! * **Panic isolation** — each point (and each shard's trace recording)
+//!   runs under `catch_unwind`; a panic becomes a `status: "failed"`
+//!   manifest record carrying the panic message while every other point
+//!   completes. Callers decide the process exit code from the statuses.
+//! * **Watchdog budgets** — [`MatrixOptions::watchdog`] arms a
+//!   deterministic [`simcore::Budget`] per point; a run that crosses the
+//!   ceiling is cut off and recorded as `status: "timed_out"` with its
+//!   partial result, instead of hanging the shard.
+//! * **Checkpoint/resume** — manifest lines stream to a `.partial` file in
+//!   input order as points complete (atomically renamed over the final
+//!   path on success), and [`MatrixOptions::resume`] reloads a prior
+//!   manifest, reuses every `ok` record whose identity (workload, system,
+//!   `config_hash`, scale, window, skip) still matches, and re-runs only
+//!   missing/failed/timed-out points.
+//!
+//! [`MatrixOptions::fail_fast`] restores the old abort-on-first-failure
+//! behaviour for CI/debug runs: the first failure aborts the sweep with a
+//! typed [`SimError`].
+//!
+//! Each completed point yields a [`RunRecord`]: a [`PointStatus`], the
+//! [`SimResult`] plus a serializable [`RunManifest`] (workload, system,
+//! config hash, status, window, skip, trace length, wall-clock seconds).
+//! Manifest lines are emitted in *input order*, so two identical complete
+//! invocations produce byte-identical manifest files (wall-clock seconds
+//! are recorded only when [`MatrixOptions::walltime`] is on — tests keep
+//! it off to stay reproducible). A progress line per completed point goes
+//! to stderr.
 
 use crate::configs::{build_system, SystemKind};
+use crate::manifest::{load_manifests, parse_json_object, Fields, ManifestWriter};
 use crate::runner::Runner;
 use crate::singlecore::Workload;
 use gpgraph::GraphInput;
 use gpkernels::Kernel;
 use parking_lot::Mutex;
+use sdclp::SimError;
 use serde::Serialize;
 use simcore::hierarchy::MemorySystem;
-use simcore::SimResult;
+use simcore::{Budget, SimResult};
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
-use std::io::Write;
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -111,6 +137,58 @@ impl MatrixPoint {
     }
 }
 
+/// How one matrix point ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointStatus {
+    /// Simulated to completion in this run.
+    Ok,
+    /// Reused from a prior manifest by a `resume` run (not re-simulated;
+    /// the record carries the prior manifest's headline numbers but no
+    /// component statistics).
+    Resumed,
+    /// The point's simulation panicked; the panic was contained.
+    Failed {
+        /// The panic message.
+        message: String,
+    },
+    /// The watchdog budget fired; the result is the partial run up to the
+    /// ceiling.
+    TimedOut {
+        /// Total simulated cycles when the watchdog fired.
+        cycles: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
+}
+
+impl PointStatus {
+    /// Did the point produce a usable result?
+    pub fn is_ok(&self) -> bool {
+        matches!(self, PointStatus::Ok | PointStatus::Resumed)
+    }
+
+    /// The manifest `status` string: `ok`, `failed`, or `timed_out`.
+    /// (Resumed records keep their original `ok`.)
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PointStatus::Ok | PointStatus::Resumed => "ok",
+            PointStatus::Failed { .. } => "failed",
+            PointStatus::TimedOut { .. } => "timed_out",
+        }
+    }
+
+    /// The manifest `error` string (empty for ok).
+    fn error_string(&self) -> String {
+        match self {
+            PointStatus::Ok | PointStatus::Resumed => String::new(),
+            PointStatus::Failed { message } => message.clone(),
+            PointStatus::TimedOut { cycles, limit } => {
+                format!("exceeded watchdog budget ({cycles} cycles, limit {limit})")
+            }
+        }
+    }
+}
+
 /// Serializable description of one completed run — one JSONL line.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunManifest {
@@ -123,6 +201,12 @@ pub struct RunManifest {
     /// Hash of the full system configuration (and SDC+LP parameters), so
     /// result files from different design points never silently mix.
     pub config_hash: String,
+    /// `ok`, `failed`, or `timed_out` — resume skips `ok` records and
+    /// re-runs the rest.
+    pub status: String,
+    /// Failure detail: the contained panic message or the watchdog report
+    /// (empty for `ok`).
+    pub error: String,
     pub scale: String,
     pub warmup: u64,
     pub measure: u64,
@@ -134,6 +218,48 @@ pub struct RunManifest {
     pub ipc: f64,
 }
 
+impl RunManifest {
+    /// The resume identity of a record: a prior `ok` line is reused only
+    /// if every field of this key still matches the submitted point.
+    fn resume_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}|{}",
+            self.workload,
+            self.system,
+            self.config_hash,
+            self.scale,
+            self.warmup,
+            self.measure,
+            self.skip
+        )
+    }
+
+    /// Parse one manifest JSONL line (the `--resume` path; the vendored
+    /// serde stand-in has no deserializer).
+    pub fn from_json_line(line: &str) -> Result<RunManifest, String> {
+        let f = Fields(parse_json_object(line)?);
+        Ok(RunManifest {
+            index: f.usize_field("index")?,
+            workload: f.str_field("workload")?,
+            kernel: f.str_field("kernel")?,
+            graph: f.str_field("graph")?,
+            system: f.str_field("system")?,
+            config_hash: f.str_field("config_hash")?,
+            status: f.str_field("status")?,
+            error: f.str_field("error")?,
+            scale: f.str_field("scale")?,
+            warmup: f.u64_field("warmup")?,
+            measure: f.u64_field("measure")?,
+            skip: f.u64_field("skip")?,
+            trace_len: f.usize_field("trace_len")?,
+            wall_seconds: f.f64_field("wall_seconds")?,
+            instructions: f.u64_field("instructions")?,
+            cycles: f.u64_field("cycles")?,
+            ipc: f.f64_field("ipc")?,
+        })
+    }
+}
+
 /// A completed matrix point.
 #[derive(Clone)]
 pub struct RunRecord {
@@ -141,15 +267,67 @@ pub struct RunRecord {
     /// The named design, when the point used one.
     pub kind: Option<SystemKind>,
     pub label: String,
+    /// How the point ended. Non-ok records carry a zeroed (failed) or
+    /// partial (timed-out) [`SimResult`]; aggregation code should filter
+    /// on [`RunRecord::is_ok`].
+    pub status: PointStatus,
     pub result: SimResult,
     pub manifest: RunManifest,
+}
+
+impl RunRecord {
+    /// Did this point produce a usable result?
+    pub fn is_ok(&self) -> bool {
+        self.status.is_ok()
+    }
+}
+
+/// Per-point runaway-simulation watchdog policy.
+///
+/// Ceilings are deterministic functions of simulated state, never
+/// wall-clock, so arming the watchdog cannot perturb reproducibility of
+/// runs that stay under it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Watchdog {
+    /// No ceiling (unit-test / library default).
+    #[default]
+    Off,
+    /// Cycle ceiling expressed as a multiple of the instruction window:
+    /// `limit = factor x (warmup + measure)`. A healthy point runs at
+    /// IPC >= ~0.05 even when fully DRAM-bound, so the harness default of
+    /// [`Watchdog::DEFAULT_CPI`] only fires on pathological configs.
+    CyclesPerInstr(u64),
+    /// Absolute cycle ceiling per point.
+    MaxCycles(u64),
+}
+
+impl Watchdog {
+    /// The harness default factor: 512 cycles per windowed instruction.
+    pub const DEFAULT_CPI: u64 = 512;
+
+    /// Resolve to an engine budget for a given instruction window.
+    pub fn budget(&self, window_total: u64) -> Budget {
+        match *self {
+            Watchdog::Off => Budget::unlimited(),
+            Watchdog::CyclesPerInstr(f) => Budget::cycles(f.saturating_mul(window_total).max(1)),
+            Watchdog::MaxCycles(c) => Budget::cycles(c.max(1)),
+        }
+    }
+
+    /// The cycle ceiling this policy resolves to (for reporting).
+    fn limit(&self, window_total: u64) -> u64 {
+        self.budget(window_total).max_cycles.unwrap_or(u64::MAX)
+    }
 }
 
 /// Execution options for a matrix run.
 #[derive(Debug, Clone, Default)]
 pub struct MatrixOptions {
     /// Write one JSON line per completed point to this file, in input
-    /// order (created/truncated; parent directories are created).
+    /// order (parent directories are created). Lines stream to
+    /// `<path>.partial` as points complete and the file is atomically
+    /// renamed into place on success, so an interrupted run leaves a
+    /// valid resumable prefix.
     pub manifest_path: Option<PathBuf>,
     /// Print a progress line per completed point to stderr.
     pub progress: bool,
@@ -160,23 +338,48 @@ pub struct MatrixOptions {
     /// is a pure function of the inputs, so reruns are byte-identical —
     /// the determinism tests rely on that.
     pub walltime: bool,
+    /// Reload `manifest_path` (or its `.partial` leftover) and skip every
+    /// point whose prior record is `ok` under the same identity
+    /// (workload, system, config hash, scale, window, skip). Missing,
+    /// `failed`, and `timed_out` points re-run.
+    pub resume: bool,
+    /// Abort the sweep with a typed error on the first failing point
+    /// (CI/debug semantics) instead of completing the remaining points.
+    pub fail_fast: bool,
+    /// Runaway-simulation ceiling per point.
+    pub watchdog: Watchdog,
 }
 
 impl MatrixOptions {
     /// The harness default: progress lines, eviction, wall-clock stamps,
-    /// no manifest file.
+    /// the default watchdog, no manifest file.
     pub fn harness() -> Self {
-        MatrixOptions { manifest_path: None, progress: true, evict: true, walltime: true }
+        MatrixOptions {
+            manifest_path: None,
+            progress: true,
+            evict: true,
+            walltime: true,
+            resume: false,
+            fail_fast: false,
+            watchdog: Watchdog::CyclesPerInstr(Watchdog::DEFAULT_CPI),
+        }
     }
 
     /// Quiet in-memory run (unit tests, library callers): no progress, no
-    /// eviction, and deterministic (wall-clock-free) manifests.
+    /// eviction, no watchdog, and deterministic (wall-clock-free)
+    /// manifests.
     pub fn quiet() -> Self {
         MatrixOptions::default()
     }
 
     pub fn with_manifest(mut self, path: impl Into<PathBuf>) -> Self {
         self.manifest_path = Some(path.into());
+        self
+    }
+
+    /// Builder-style `resume` toggle.
+    pub fn resuming(mut self, on: bool) -> Self {
+        self.resume = on;
         self
     }
 }
@@ -193,12 +396,30 @@ fn hash_config(repr: &str) -> String {
     format!("{:016x}", h.finish())
 }
 
+/// Render a contained panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 impl Runner {
     /// Run a matrix of (workload, system) points in parallel and return one
     /// [`RunRecord`] per point, in input order. Progress and eviction
     /// follow [`MatrixOptions::harness`]; use [`Runner::run_matrix_with`]
     /// to control them or to stream a JSONL manifest.
-    pub fn run_matrix(&self, points: &[(Workload, SystemKind)]) -> Vec<RunRecord> {
+    ///
+    /// Failing points do not abort the sweep (see [`PointStatus`]); the
+    /// `Err` cases are sweep-level faults — manifest I/O and
+    /// [`MatrixOptions::fail_fast`] aborts.
+    pub fn run_matrix(
+        &self,
+        points: &[(Workload, SystemKind)],
+    ) -> Result<Vec<RunRecord>, SimError> {
         self.run_matrix_with(points, &MatrixOptions::harness())
     }
 
@@ -207,7 +428,7 @@ impl Runner {
         &self,
         points: &[(Workload, SystemKind)],
         opts: &MatrixOptions,
-    ) -> Vec<RunRecord> {
+    ) -> Result<Vec<RunRecord>, SimError> {
         let points: Vec<MatrixPoint> =
             points.iter().map(|&(w, k)| MatrixPoint::new(w, SystemSpec::Kind(k))).collect();
         self.run_matrix_points(&points, opts)
@@ -219,14 +440,65 @@ impl Runner {
         &self,
         points: &[MatrixPoint],
         opts: &MatrixOptions,
-    ) -> Vec<RunRecord> {
-        // Group point indices by workload, preserving first-appearance
-        // order; one shard per workload keeps its trace alive exactly as
-        // long as needed. (BTreeMap so nothing downstream can ever observe
-        // hash-order — shard *scheduling* follows shard_order regardless.)
+    ) -> Result<Vec<RunRecord>, SimError> {
+        let total = points.len();
+        let budget = opts.watchdog.budget(self.window.total());
+        let limit = opts.watchdog.limit(self.window.total());
+
+        // Per-point identity, computed up front: the manifest's
+        // config_hash and the resume key both derive from it.
+        let hashes: Vec<String> =
+            points.iter().map(|p| hash_config(&p.system.config_repr(self))).collect();
+
+        // Resume: index prior `ok` records by identity, then pre-resolve
+        // matching points without re-simulating them.
+        let results: Vec<Mutex<Option<RunRecord>>> =
+            points.iter().map(|_| Mutex::new(None)).collect();
+        let mut resumed_count = 0usize;
+        if opts.resume {
+            if let Some(path) = &opts.manifest_path {
+                let mut by_key: BTreeMap<String, RunManifest> = BTreeMap::new();
+                for m in load_manifests(path)? {
+                    if m.status == "ok" {
+                        by_key.insert(m.resume_key(), m);
+                    }
+                }
+                for (i, p) in points.iter().enumerate() {
+                    let key = self.point_resume_key(p, &hashes[i]);
+                    let Some(prior) = by_key.get(&key) else { continue };
+                    let mut manifest = prior.clone();
+                    manifest.index = i;
+                    *results[i].lock() = Some(RunRecord {
+                        workload: p.workload,
+                        kind: p.system.kind(),
+                        label: p.system.label(),
+                        status: PointStatus::Resumed,
+                        result: SimResult {
+                            instructions: manifest.instructions,
+                            cycles: manifest.cycles,
+                            stats: Default::default(),
+                        },
+                        manifest,
+                    });
+                    resumed_count += 1;
+                }
+            }
+        }
+        if opts.progress && resumed_count > 0 {
+            eprintln!("[resume] reusing {resumed_count}/{total} ok points from prior manifest");
+        }
+
+        // Group the *remaining* point indices by workload, preserving
+        // first-appearance order; one shard per workload keeps its trace
+        // alive exactly as long as needed. (BTreeMap so nothing downstream
+        // can ever observe hash-order — shard *scheduling* follows
+        // shard_order regardless.)
         let mut shard_order: Vec<Workload> = Vec::new();
         let mut shards: BTreeMap<Workload, Vec<usize>> = BTreeMap::new();
         for (i, p) in points.iter().enumerate() {
+            if results[i].lock().is_some() {
+                continue; // resumed
+            }
             shards
                 .entry(p.workload)
                 .or_insert_with(|| {
@@ -243,10 +515,27 @@ impl Runner {
         }
         let graph_pending = Mutex::new(graph_pending);
 
-        let results: Vec<Mutex<Option<RunRecord>>> =
-            points.iter().map(|_| Mutex::new(None)).collect();
-        let completed = AtomicUsize::new(0);
-        let total = points.len();
+        // Manifest lines stream out in input order as points complete;
+        // resumed records submit theirs up front.
+        let mut writer: Option<ManifestWriter> = match &opts.manifest_path {
+            Some(path) => Some(ManifestWriter::create(path)?),
+            None => None,
+        };
+        if let Some(writer) = &mut writer {
+            for (i, slot) in results.iter().enumerate() {
+                if let Some(rec) = slot.lock().as_ref() {
+                    writer.submit(i, serde::to_json_string(&rec.manifest))?;
+                }
+            }
+        }
+        let writer = Mutex::new(writer);
+        // First manifest-write failure (compute continues; reported at end).
+        let manifest_error: Mutex<Option<SimError>> = Mutex::new(None);
+        // First point failure, for fail-fast aborts.
+        let abort = AtomicBool::new(false);
+        let first_failure: Mutex<Option<SimError>> = Mutex::new(None);
+
+        let completed = AtomicUsize::new(resumed_count);
 
         rayon::scope(|s| {
             for w in shard_order {
@@ -255,31 +544,106 @@ impl Runner {
                     // simlint::allow(unwrap): invariant — shard_order and shards are built together above
                     .expect("invariant: every shard_order entry has a shard");
                 let (results, completed, graph_pending) = (&results, &completed, &graph_pending);
+                let (writer, manifest_error) = (&writer, &manifest_error);
+                let (abort, first_failure) = (&abort, &first_failure);
                 let points = &points;
+                let hashes = &hashes;
                 s.spawn(move |_| {
-                    let trace = self.trace(w);
+                    if abort.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    // Trace recording is itself a failure domain: a
+                    // panicking kernel poisons this shard's points, not
+                    // the sweep.
+                    let trace = match catch_unwind(AssertUnwindSafe(|| self.trace(w))) {
+                        Ok(t) => Ok(t),
+                        Err(payload) => {
+                            Err(format!("trace recording panicked: {}", panic_message(payload)))
+                        }
+                    };
                     for i in indices {
+                        if abort.load(Ordering::Relaxed) {
+                            return;
+                        }
                         let point = &points[i];
+                        let label = point.system.label();
                         let started = Instant::now();
-                        let sys = point.system.build(w.kernel, self);
-                        let mut engine = self.engine_for(sys);
-                        engine.replay(&trace);
-                        let result = engine.finish();
+                        let (status, result, trace_len) = match &trace {
+                            Err(msg) => (
+                                PointStatus::Failed { message: msg.clone() },
+                                SimResult::default(),
+                                0,
+                            ),
+                            Ok(trace) => {
+                                let run = catch_unwind(AssertUnwindSafe(|| {
+                                    let sys = point.system.build(w.kernel, self);
+                                    let mut engine = self.engine_for(sys);
+                                    engine.set_budget(budget);
+                                    engine.replay(trace);
+                                    let timed_out = engine.timed_out();
+                                    let total_cycles = engine.current_cycle();
+                                    (engine.finish(), timed_out, total_cycles)
+                                }));
+                                match run {
+                                    Ok((result, false, _)) => {
+                                        (PointStatus::Ok, result, trace.events.len())
+                                    }
+                                    Ok((result, true, cycles)) => (
+                                        PointStatus::TimedOut { cycles, limit },
+                                        result,
+                                        trace.events.len(),
+                                    ),
+                                    Err(payload) => (
+                                        PointStatus::Failed {
+                                            message: panic_message(payload),
+                                        },
+                                        SimResult::default(),
+                                        trace.events.len(),
+                                    ),
+                                }
+                            }
+                        };
                         let wall_seconds = started.elapsed().as_secs_f64();
 
-                        let label = point.system.label();
+                        if !status.is_ok() {
+                            let err = match &status {
+                                PointStatus::TimedOut { cycles, limit } => {
+                                    SimError::PointTimedOut {
+                                        workload: w.name(),
+                                        system: label.clone(),
+                                        cycles: *cycles,
+                                        limit: *limit,
+                                    }
+                                }
+                                _ => SimError::PointPanicked {
+                                    workload: w.name(),
+                                    system: label.clone(),
+                                    message: status.error_string(),
+                                },
+                            };
+                            let mut slot = first_failure.lock();
+                            if slot.is_none() {
+                                *slot = Some(err);
+                            }
+                            if opts.fail_fast {
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                        }
+
                         let manifest = RunManifest {
                             index: i,
                             workload: w.name(),
                             kernel: w.kernel.to_string(),
                             graph: w.graph.name().to_string(),
                             system: label.clone(),
-                            config_hash: hash_config(&point.system.config_repr(self)),
+                            config_hash: hashes[i].clone(),
+                            status: status.as_str().to_string(),
+                            error: status.error_string(),
                             scale: format!("{:?}", self.scale),
                             warmup: self.window.warmup,
                             measure: self.window.measure,
                             skip: self.skip,
-                            trace_len: trace.events.len(),
+                            trace_len,
                             wall_seconds: if opts.walltime { wall_seconds } else { 0.0 },
                             instructions: result.instructions,
                             cycles: result.cycles,
@@ -287,15 +651,32 @@ impl Runner {
                         };
                         let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
                         if opts.progress {
-                            eprintln!(
-                                "[{n}/{total}] {w} on {label}: IPC {ipc:.3} ({wall_seconds:.1}s)",
-                                ipc = manifest.ipc,
-                            );
+                            match &status {
+                                PointStatus::Failed { message } => eprintln!(
+                                    "[{n}/{total}] {w} on {label}: FAILED ({message})"
+                                ),
+                                PointStatus::TimedOut { cycles, .. } => eprintln!(
+                                    "[{n}/{total}] {w} on {label}: TIMED OUT after {cycles} cycles ({wall_seconds:.1}s)"
+                                ),
+                                _ => eprintln!(
+                                    "[{n}/{total}] {w} on {label}: IPC {ipc:.3} ({wall_seconds:.1}s)",
+                                    ipc = manifest.ipc,
+                                ),
+                            }
+                        }
+                        if let Some(wr) = writer.lock().as_mut() {
+                            if let Err(e) = wr.submit(i, serde::to_json_string(&manifest)) {
+                                let mut slot = manifest_error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                            }
                         }
                         *results[i].lock() = Some(RunRecord {
                             workload: w,
                             kind: point.system.kind(),
                             label,
+                            status,
                             result,
                             manifest,
                         });
@@ -317,37 +698,49 @@ impl Runner {
             }
         });
 
+        if opts.fail_fast {
+            if let Some(e) = first_failure.into_inner() {
+                // The `.partial` manifest prefix is left on disk for
+                // `resume`; the final path is never produced by an abort.
+                return Err(SimError::Aborted {
+                    point: "first failing point".into(),
+                    detail: e.to_string(),
+                });
+            }
+        }
+        if let Some(e) = manifest_error.into_inner() {
+            return Err(e);
+        }
+
         let records: Vec<RunRecord> = results
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    // simlint::allow(unwrap): invariant — rayon::scope joins every spawned shard
+                    // simlint::allow(unwrap): invariant — rayon::scope joins every spawned shard (fail-fast aborts returned above)
                     .expect("invariant: every matrix point completes before the scope ends")
             })
             .collect();
 
-        // Manifest lines are written only now, in input order: completion
-        // order varies with thread scheduling, and the manifest file is
-        // pinned byte-for-byte by the determinism tests.
-        if let Some(path) = &opts.manifest_path {
-            // simlint::allow(unwrap): manifest was explicitly requested; losing it silently would corrupt the evaluation record
-            write_manifest_jsonl(path, &records).expect("write manifest JSONL");
+        if let Some(wr) = writer.into_inner() {
+            wr.finish(total)?;
         }
-        records
+        Ok(records)
     }
-}
 
-/// Write one JSON line per record (already in input order) to `path`,
-/// creating parent directories.
-fn write_manifest_jsonl(path: &Path, records: &[RunRecord]) -> std::io::Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
+    /// The resume identity of a submitted point (must mirror
+    /// [`RunManifest::resume_key`]).
+    fn point_resume_key(&self, p: &MatrixPoint, config_hash: &str) -> String {
+        format!(
+            "{}|{}|{}|{:?}|{}|{}|{}",
+            p.workload.name(),
+            p.system.label(),
+            config_hash,
+            self.scale,
+            self.window.warmup,
+            self.window.measure,
+            self.skip
+        )
     }
-    let mut sink = std::io::BufWriter::new(std::fs::File::create(path)?);
-    for rec in records {
-        writeln!(sink, "{}", serde::to_json_string(&rec.manifest))?;
-    }
-    sink.flush()
 }
 
 #[cfg(test)]
@@ -359,6 +752,18 @@ mod tests {
 
     fn tiny_runner() -> Runner {
         Runner::new(SuiteScale::Tiny, Window::new(20_000, 80_000))
+    }
+
+    fn temp_manifest(name: &str) -> PathBuf {
+        std::env::temp_dir().join("sdclp-matrix-test").join(name)
+    }
+
+    /// A spec whose build panics — the unit of fault injection.
+    fn panicking_spec(tag: &str) -> SystemSpec {
+        let msg = format!("injected fault: {tag}");
+        SystemSpec::custom(format!("boom-{tag}"), format!("boom {tag}"), move |_| {
+            panic!("{}", msg.clone())
+        })
     }
 
     /// The acceptance property: a parallel matrix over >= 6 points matches
@@ -375,13 +780,16 @@ mod tests {
             &[SystemKind::Baseline, SystemKind::SdcLp],
         );
         assert!(points.len() >= 6);
-        let records = r.run_matrix_with(&points, &MatrixOptions::quiet());
+        let records = r.run_matrix_with(&points, &MatrixOptions::quiet()).expect("sweep runs");
         assert_eq!(records.len(), points.len());
 
         let seq = tiny_runner();
         for (rec, &(w, k)) in records.iter().zip(&points) {
             assert_eq!(rec.workload, w);
             assert_eq!(rec.kind, Some(k));
+            assert!(rec.is_ok());
+            assert_eq!(rec.manifest.status, "ok");
+            assert_eq!(rec.manifest.error, "");
             let expected = seq.run_one(w, k);
             assert_eq!(
                 rec.result, expected,
@@ -395,7 +803,7 @@ mod tests {
         let r = tiny_runner();
         let w = Workload::new(Kernel::Pr, GraphInput::Kron);
         let opts = MatrixOptions { evict: true, ..MatrixOptions::quiet() };
-        let recs = r.run_matrix_with(&[(w, SystemKind::Baseline)], &opts);
+        let recs = r.run_matrix_with(&[(w, SystemKind::Baseline)], &opts).expect("sweep runs");
         assert_eq!(recs.len(), 1);
         // Trace was evicted: requesting it again re-records (fresh Arc) yet
         // yields identical events.
@@ -407,8 +815,7 @@ mod tests {
 
     #[test]
     fn manifest_jsonl_is_written_per_point() {
-        let dir = std::env::temp_dir().join("sdclp-matrix-test");
-        let path = dir.join("manifest.jsonl");
+        let path = temp_manifest("manifest.jsonl");
         let _ = std::fs::remove_file(&path);
         let r = tiny_runner();
         let points = cross(
@@ -416,7 +823,7 @@ mod tests {
             &[SystemKind::Baseline, SystemKind::SdcLp],
         );
         let opts = MatrixOptions::quiet().with_manifest(&path);
-        let recs = r.run_matrix_with(&points, &opts);
+        let recs = r.run_matrix_with(&points, &opts).expect("sweep runs");
         let text = std::fs::read_to_string(&path).expect("manifest written");
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), recs.len());
@@ -424,9 +831,15 @@ mod tests {
             assert!(line.starts_with('{') && line.ends_with('}'), "not JSON: {line}");
             assert!(line.contains("\"workload\":\"cc.urand\""), "line: {line}");
             assert!(line.contains("\"config_hash\":\""), "line: {line}");
+            assert!(line.contains("\"status\":\"ok\""), "line: {line}");
+            // And the line round-trips through the resume parser.
+            let m = RunManifest::from_json_line(line).expect("parses");
+            assert_eq!(m.workload, "cc.urand");
         }
         // The two design points must hash differently.
         assert_ne!(recs[0].manifest.config_hash, recs[1].manifest.config_hash);
+        // Atomic publish: no partial file remains.
+        assert!(!crate::manifest::partial_path(&path).exists());
         let _ = std::fs::remove_file(&path);
     }
 
@@ -437,9 +850,8 @@ mod tests {
     /// would break this intermittently.
     #[test]
     fn identical_matrix_runs_emit_byte_identical_manifests() {
-        let dir = std::env::temp_dir().join("sdclp-matrix-determinism");
-        let path_a = dir.join("a.jsonl");
-        let path_b = dir.join("b.jsonl");
+        let path_a = temp_manifest("a.jsonl");
+        let path_b = temp_manifest("b.jsonl");
         let points = cross(
             &[
                 Workload::new(Kernel::Pr, GraphInput::Kron),
@@ -451,7 +863,7 @@ mod tests {
         for (path, label) in [(&path_a, "a"), (&path_b, "b")] {
             let r = tiny_runner();
             let opts = MatrixOptions::quiet().with_manifest(path);
-            let recs = r.run_matrix_with(&points, &opts);
+            let recs = r.run_matrix_with(&points, &opts).expect("sweep runs");
             assert_eq!(recs.len(), points.len(), "run {label}");
         }
         let a = std::fs::read(&path_a).expect("manifest a");
@@ -460,18 +872,8 @@ mod tests {
         assert_eq!(a, b, "manifest files diverged between identical runs");
         // Lines come out in input order, not completion order.
         let text = String::from_utf8(a).expect("utf8 manifest");
-        let indices: Vec<usize> = text
-            .lines()
-            .map(|l| {
-                let tail = l.split("\"index\":").nth(1).expect("index field");
-                tail.split(&[',', '}'][..])
-                    .next()
-                    .expect("index value")
-                    .trim()
-                    .parse()
-                    .expect("usize")
-            })
-            .collect();
+        let indices: Vec<usize> =
+            text.lines().map(|l| RunManifest::from_json_line(l).expect("parses").index).collect();
         assert_eq!(indices, (0..points.len()).collect::<Vec<_>>(), "not input order");
         let _ = std::fs::remove_file(&path_a);
         let _ = std::fs::remove_file(&path_b);
@@ -491,9 +893,184 @@ mod tests {
                 }),
             ),
         ];
-        let recs = r.run_matrix_points(&points, &MatrixOptions::quiet());
+        let recs = r.run_matrix_points(&points, &MatrixOptions::quiet()).expect("sweep runs");
         assert_eq!(recs[0].result, recs[1].result, "identical configs must agree");
         assert_eq!(recs[1].label, "baseline-clone");
         assert!(recs[1].kind.is_none());
+    }
+
+    /// Tentpole property 1: a panicking point is contained — every other
+    /// point completes, the bad one carries the panic message.
+    #[test]
+    fn panicking_point_is_isolated() {
+        let r = tiny_runner();
+        let w = Workload::new(Kernel::Cc, GraphInput::Urand);
+        let w2 = Workload::new(Kernel::Pr, GraphInput::Kron);
+        let points = vec![
+            MatrixPoint::new(w, SystemSpec::Kind(SystemKind::Baseline)),
+            MatrixPoint::new(w, panicking_spec("a")),
+            MatrixPoint::new(w2, SystemSpec::Kind(SystemKind::Baseline)),
+        ];
+        let recs = r.run_matrix_points(&points, &MatrixOptions::quiet()).expect("sweep runs");
+        assert_eq!(recs.len(), 3);
+        assert!(recs[0].is_ok() && recs[2].is_ok());
+        assert!(!recs[1].is_ok());
+        match &recs[1].status {
+            PointStatus::Failed { message } => {
+                assert!(message.contains("injected fault: a"), "message: {message}")
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(recs[1].manifest.status, "failed");
+        assert!(recs[1].manifest.error.contains("injected fault"));
+        // The ok points are unperturbed by their failed neighbor.
+        assert_eq!(recs[0].result, tiny_runner().run_one(w, SystemKind::Baseline));
+    }
+
+    /// Tentpole property 2: the watchdog converts a runaway point into a
+    /// graceful timed_out record with a partial result.
+    #[test]
+    fn watchdog_times_out_runaway_points() {
+        let r = tiny_runner();
+        let w = Workload::new(Kernel::Pr, GraphInput::Kron);
+        // A ceiling far below any real run: everything times out.
+        let opts = MatrixOptions { watchdog: Watchdog::MaxCycles(1_000), ..MatrixOptions::quiet() };
+        let recs = r.run_matrix_with(&[(w, SystemKind::Baseline)], &opts).expect("sweep runs");
+        match &recs[0].status {
+            PointStatus::TimedOut { cycles, limit } => {
+                assert_eq!(*limit, 1_000);
+                assert!(*cycles >= 1_000, "cycles: {cycles}");
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert_eq!(recs[0].manifest.status, "timed_out");
+        assert!(recs[0].manifest.error.contains("watchdog"));
+
+        // And an unarmed (or generous) watchdog changes nothing.
+        let free = r.run_matrix_with(&[(w, SystemKind::Baseline)], &MatrixOptions::quiet());
+        let armed = r.run_matrix_with(
+            &[(w, SystemKind::Baseline)],
+            &MatrixOptions {
+                watchdog: Watchdog::CyclesPerInstr(Watchdog::DEFAULT_CPI),
+                ..MatrixOptions::quiet()
+            },
+        );
+        assert_eq!(
+            free.expect("free")[0].result,
+            armed.expect("armed")[0].result,
+            "a generous watchdog must not perturb results"
+        );
+    }
+
+    /// Tentpole property 3: fail_fast restores abort-on-first-failure.
+    #[test]
+    fn fail_fast_aborts_with_typed_error() {
+        let r = tiny_runner();
+        let w = Workload::new(Kernel::Cc, GraphInput::Urand);
+        let points = vec![
+            MatrixPoint::new(w, panicking_spec("ff")),
+            MatrixPoint::new(w, SystemSpec::Kind(SystemKind::Baseline)),
+        ];
+        let opts = MatrixOptions { fail_fast: true, ..MatrixOptions::quiet() };
+        match r.run_matrix_points(&points, &opts) {
+            Err(SimError::Aborted { detail, .. }) => {
+                assert!(detail.contains("injected fault"), "detail: {detail}")
+            }
+            other => panic!("expected Aborted, got {:?}", other.map(|r| r.len())),
+        }
+    }
+
+    /// Tentpole property 4: resume reuses ok records (no re-simulation)
+    /// and re-runs failed ones; a changed config hash invalidates reuse.
+    #[test]
+    fn resume_skips_ok_and_reruns_failed() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let path = temp_manifest("resume.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let w = Workload::new(Kernel::Cc, GraphInput::Urand);
+        let builds = Arc::new(AtomicUsize::new(0));
+        let counting_baseline = |builds: &Arc<AtomicUsize>| {
+            let builds = Arc::clone(builds);
+            let cfg = simcore::SystemConfig::baseline(1);
+            SystemSpec::custom("counted", format!("{cfg:?}"), move |_| {
+                builds.fetch_add(1, Ordering::Relaxed);
+                Box::new(simcore::BaselineHierarchy::new(&cfg))
+            })
+        };
+
+        let points = vec![
+            MatrixPoint::new(w, counting_baseline(&builds)),
+            MatrixPoint::new(w, panicking_spec("r")),
+        ];
+        let opts = MatrixOptions::quiet().with_manifest(&path);
+        let first = tiny_runner().run_matrix_points(&points, &opts).expect("first run");
+        assert!(first[0].is_ok() && !first[1].is_ok());
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+
+        // Resume: the ok point is reused (builder not called again), the
+        // failed point re-runs (and fails again).
+        let second = tiny_runner()
+            .run_matrix_points(&points, &opts.clone().resuming(true))
+            .expect("resume run");
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "ok point must not re-simulate");
+        assert_eq!(second[0].status, PointStatus::Resumed);
+        assert!(second[0].is_ok());
+        assert_eq!(second[0].result.instructions, first[0].result.instructions);
+        assert_eq!(second[0].result.cycles, first[0].result.cycles);
+        assert!(!second[1].is_ok(), "failed point must re-run on resume");
+        // The resumed manifest is complete and carries the reused line.
+        let text = std::fs::read_to_string(&path).expect("manifest");
+        assert_eq!(text.lines().count(), 2);
+
+        // A changed config invalidates the hash: the point re-runs even
+        // though workload and label match.
+        let changed = vec![
+            MatrixPoint::new(w, {
+                let builds = Arc::clone(&builds);
+                SystemSpec::custom("counted", "a different config repr", move |_| {
+                    builds.fetch_add(1, Ordering::Relaxed);
+                    Box::new(simcore::BaselineHierarchy::new(&simcore::SystemConfig::baseline(1)))
+                })
+            }),
+            MatrixPoint::new(w, panicking_spec("r")),
+        ];
+        let third = tiny_runner()
+            .run_matrix_points(&changed, &opts.clone().resuming(true))
+            .expect("resume with changed config");
+        assert_eq!(builds.load(Ordering::Relaxed), 2, "config-hash mismatch must force a re-run");
+        assert_eq!(third[0].status, PointStatus::Ok);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Resume also works from a `.partial` prefix left by a killed run.
+    #[test]
+    fn resume_consumes_partial_prefix() {
+        let path = temp_manifest("partial-resume.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let w = Workload::new(Kernel::Bfs, GraphInput::Kron);
+        let points = vec![(w, SystemKind::Baseline), (w, SystemKind::SdcLp)];
+        let opts = MatrixOptions::quiet().with_manifest(&path);
+        let r = tiny_runner();
+        let recs = r.run_matrix_with(&points, &opts).expect("first run");
+        assert_eq!(recs.len(), 2);
+
+        // Simulate a kill: keep only the first line, as a .partial file.
+        let text = std::fs::read_to_string(&path).expect("manifest");
+        let first_line = text.lines().next().expect("line").to_string();
+        let partial = crate::manifest::partial_path(&path);
+        std::fs::write(&partial, format!("{first_line}\n")).expect("write partial");
+        std::fs::remove_file(&path).expect("drop final");
+
+        let second = tiny_runner()
+            .run_matrix_with(&points, &opts.clone().resuming(true))
+            .expect("resume from partial");
+        assert_eq!(second[0].status, PointStatus::Resumed);
+        assert_eq!(second[1].status, PointStatus::Ok, "missing point must re-run");
+        assert_eq!(second[1].result, recs[1].result);
+        // The resumed run publishes a complete manifest again.
+        let text = std::fs::read_to_string(&path).expect("manifest republished");
+        assert_eq!(text.lines().count(), 2);
+        assert!(!partial.exists());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -80,8 +80,17 @@ impl Runner {
         };
         let dir = std::path::PathBuf::from(dir);
         let path = dir.join(format!("{}-{}.csr", graph.name(), self.scale.bits()));
-        if let Ok(g) = gpgraph::io::load(&path) {
-            return g;
+        match gpgraph::io::load(&path) {
+            Ok(g) => return g,
+            // A missing cache entry is the common case; anything else means
+            // the cache file is corrupt — say so, then regenerate over it.
+            Err(gpgraph::GraphIoError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                eprintln!(
+                    "warning: graph cache {} is unreadable ({e}); regenerating",
+                    path.display()
+                );
+            }
         }
         let g = gpgraph::build(graph, self.scale);
         if std::fs::create_dir_all(&dir).is_ok() {

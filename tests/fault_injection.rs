@@ -1,0 +1,202 @@
+//! Fault-injection acceptance tests for the sweep executor (ISSUE 4).
+//!
+//! The scenario the tentpole promises: a sweep containing one panicking
+//! point and one runaway (over-budget) point still completes every other
+//! point, records `failed` / `timed_out` manifest lines for the two bad
+//! ones, reports a nonzero exit through the harness protocol, and a
+//! `--resume` run re-executes exactly those two points.
+
+use gpworkloads::{
+    MatrixOptions, MatrixPoint, PointStatus, Runner, SimError, SystemKind, SystemSpec, Watchdog,
+    Workload,
+};
+use simcore::hierarchy::{AccessOutcome, MemorySystem};
+use simcore::stats::HierStats;
+use simcore::{BaselineHierarchy, MemRef, SystemConfig, Window};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn tiny_runner() -> Runner {
+    Runner::new(gpgraph::SuiteScale::Tiny, Window::new(20_000, 80_000))
+}
+
+/// A memory system wrapper that adds a huge fixed latency to every access
+/// — the "runaway simulation" the watchdog exists for. Deterministic, so
+/// the timed-out record is reproducible.
+struct Molasses(BaselineHierarchy);
+
+impl MemorySystem for Molasses {
+    fn access(&mut self, r: &MemRef, now: u64) -> AccessOutcome {
+        let mut out = self.0.access(r, now);
+        out.completion = out.completion.saturating_add(1_000_000);
+        out
+    }
+
+    fn collect_stats(&self) -> HierStats {
+        self.0.collect_stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.0.reset_stats();
+    }
+}
+
+/// A build-counting baseline spec: lets tests assert which points actually
+/// re-simulated (resume must not rebuild reused points).
+fn counted_baseline(label: &str, builds: &Arc<AtomicUsize>) -> SystemSpec {
+    let builds = Arc::clone(builds);
+    let cfg = SystemConfig::baseline(1);
+    SystemSpec::custom(label.to_string(), format!("counted {label} {cfg:?}"), move |_| {
+        builds.fetch_add(1, Ordering::Relaxed);
+        Box::new(BaselineHierarchy::new(&cfg))
+    })
+}
+
+fn panicking(builds: &Arc<AtomicUsize>) -> SystemSpec {
+    let builds = Arc::clone(builds);
+    SystemSpec::custom("poisoned", "poisoned config", move |_| {
+        builds.fetch_add(1, Ordering::Relaxed);
+        panic!("injected: this design point is poisoned")
+    })
+}
+
+fn molasses(builds: &Arc<AtomicUsize>) -> SystemSpec {
+    let builds = Arc::clone(builds);
+    let cfg = SystemConfig::baseline(1);
+    SystemSpec::custom("molasses", format!("molasses {cfg:?}"), move |_| {
+        builds.fetch_add(1, Ordering::Relaxed);
+        Box::new(Molasses(BaselineHierarchy::new(&cfg)))
+    })
+}
+
+#[test]
+fn poisoned_sweep_completes_and_resume_reruns_only_the_failures() {
+    let dir = std::env::temp_dir().join("sdclp-fault-injection");
+    let path = dir.join("acceptance.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let w1 = Workload::new(gpkernels::Kernel::Cc, gpgraph::GraphInput::Urand);
+    let w2 = Workload::new(gpkernels::Kernel::Pr, gpgraph::GraphInput::Kron);
+    let good = Arc::new(AtomicUsize::new(0));
+    let bad = Arc::new(AtomicUsize::new(0));
+    let slow = Arc::new(AtomicUsize::new(0));
+    let points = vec![
+        MatrixPoint::new(w1, counted_baseline("good-a", &good)),
+        MatrixPoint::new(w1, panicking(&bad)),
+        MatrixPoint::new(w2, molasses(&slow)),
+        MatrixPoint::new(w2, counted_baseline("good-b", &good)),
+    ];
+    // The harness-default watchdog: generous for healthy points, fatal for
+    // the molasses point (which burns ~1M cycles per memory access).
+    let opts = MatrixOptions {
+        watchdog: Watchdog::CyclesPerInstr(Watchdog::DEFAULT_CPI),
+        ..MatrixOptions::quiet()
+    }
+    .with_manifest(&path);
+
+    let records = tiny_runner().run_matrix_points(&points, &opts).expect("sweep completes");
+    assert_eq!(records.len(), 4, "every point must yield a record");
+
+    // The two good points completed, unperturbed by their bad neighbors.
+    assert_eq!(records[0].status, PointStatus::Ok);
+    assert_eq!(records[3].status, PointStatus::Ok);
+    assert!(records[0].result.instructions > 0);
+    assert_eq!(records[0].result, tiny_runner().run_one(w1, SystemKind::Baseline));
+
+    // The panicking point carries its message.
+    match &records[1].status {
+        PointStatus::Failed { message } => assert!(message.contains("poisoned")),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+
+    // The runaway point was cut off at the ceiling, not simulated forever.
+    match &records[2].status {
+        PointStatus::TimedOut { cycles, limit } => {
+            assert_eq!(*limit, Watchdog::DEFAULT_CPI * 100_000);
+            assert!(cycles >= limit);
+        }
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+
+    // The harness exit protocol counts both failures (=> nonzero exit).
+    assert_eq!(gpbench::failed_points(&[&records]), 2);
+
+    // The manifest has one line per point, in input order, with statuses.
+    let text = std::fs::read_to_string(&path).expect("manifest published");
+    let statuses: Vec<String> = text
+        .lines()
+        .map(|l| gpworkloads::RunManifest::from_json_line(l).expect("parses").status)
+        .collect();
+    assert_eq!(statuses, ["ok", "failed", "timed_out", "ok"]);
+    assert_eq!(gpbench::failed_points(&[&records[..2], &records[2..]]), 2);
+
+    // --- Resume: only the failed and timed-out points re-execute. -------
+    let (g0, b0, s0) =
+        (good.load(Ordering::Relaxed), bad.load(Ordering::Relaxed), slow.load(Ordering::Relaxed));
+    assert_eq!((g0, b0, s0), (2, 1, 1));
+    let resumed = tiny_runner()
+        .run_matrix_points(&points, &opts.clone().resuming(true))
+        .expect("resume completes");
+    assert_eq!(good.load(Ordering::Relaxed), g0, "ok points must not re-simulate");
+    assert_eq!(bad.load(Ordering::Relaxed), b0 + 1, "failed point must re-run");
+    assert_eq!(slow.load(Ordering::Relaxed), s0 + 1, "timed-out point must re-run");
+    assert_eq!(resumed[0].status, PointStatus::Resumed);
+    assert_eq!(resumed[3].status, PointStatus::Resumed);
+    assert!(matches!(resumed[1].status, PointStatus::Failed { .. }));
+    assert!(matches!(resumed[2].status, PointStatus::TimedOut { .. }));
+    // Reused records carry the prior headline numbers.
+    assert_eq!(resumed[0].result.instructions, records[0].result.instructions);
+    assert_eq!(resumed[0].result.cycles, records[0].result.cycles);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn fail_fast_aborts_instead_of_completing() {
+    let w = Workload::new(gpkernels::Kernel::Cc, gpgraph::GraphInput::Urand);
+    let bad = Arc::new(AtomicUsize::new(0));
+    let points = vec![
+        MatrixPoint::new(w, panicking(&bad)),
+        MatrixPoint::new(w, SystemSpec::Kind(SystemKind::Baseline)),
+    ];
+    let opts = MatrixOptions { fail_fast: true, ..MatrixOptions::quiet() };
+    match tiny_runner().run_matrix_points(&points, &opts) {
+        Err(SimError::Aborted { detail, .. }) => assert!(detail.contains("poisoned")),
+        other => panic!("expected Aborted, got {:?}", other.map(|r| r.len())),
+    }
+}
+
+/// A corrupted (bit-flipped) line in a prior manifest must not poison
+/// resume: the unparseable line is skipped and that point re-runs.
+#[test]
+fn resume_survives_corrupted_manifest_lines() {
+    let dir = std::env::temp_dir().join("sdclp-fault-injection");
+    let path = dir.join("corrupt-resume.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let w = Workload::new(gpkernels::Kernel::Bfs, gpgraph::GraphInput::Kron);
+    let builds = Arc::new(AtomicUsize::new(0));
+    let points = vec![
+        MatrixPoint::new(w, counted_baseline("keep", &builds)),
+        MatrixPoint::new(w, counted_baseline("mangled", &builds)),
+    ];
+    let opts = MatrixOptions::quiet().with_manifest(&path);
+    tiny_runner().run_matrix_points(&points, &opts).expect("first run");
+    assert_eq!(builds.load(Ordering::Relaxed), 2);
+
+    // Mangle the second line (truncate it mid-record, as a crash would).
+    let text = std::fs::read_to_string(&path).expect("manifest");
+    let mut lines: Vec<&str> = text.lines().collect();
+    let cut = lines[1].len() / 2;
+    let mangled = &lines[1][..cut];
+    lines[1] = mangled;
+    std::fs::write(&path, lines.join("\n")).expect("rewrite");
+
+    let resumed = tiny_runner()
+        .run_matrix_points(&points, &opts.clone().resuming(true))
+        .expect("resume despite corruption");
+    assert_eq!(resumed[0].status, PointStatus::Resumed, "intact line is reused");
+    assert_eq!(resumed[1].status, PointStatus::Ok, "mangled line re-runs");
+    assert_eq!(builds.load(Ordering::Relaxed), 3);
+    let _ = std::fs::remove_file(&path);
+}
