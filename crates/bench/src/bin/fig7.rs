@@ -7,9 +7,47 @@
 //! +0.1%, T-OPT +9.4%, 2xLLC +11.2%, SDC+LP +20.3%.
 
 use gpbench::{finish_sweeps, pct, run_or_exit, HarnessOpts, TextTable};
-use gpworkloads::{cross, SystemKind};
+use gpworkloads::{cross, RunRecord, SystemKind};
 use simcore::geomean;
 use std::process::ExitCode;
+
+/// Write the sweep's wall-clock throughput summary (the repo's pinned
+/// simulator benchmark: `fig7 --scale small --bench-out BENCH_sim.json`).
+/// Simulated instructions count each point's measured window plus warmup,
+/// which is what the simulator actually traced.
+fn write_bench_summary(
+    path: &std::path::Path,
+    opts: &HarnessOpts,
+    records: &[RunRecord],
+    wall_seconds: f64,
+) -> std::io::Result<()> {
+    let ok = records.iter().filter(|r| r.is_ok()).count();
+    let simulated: u64 = records
+        .iter()
+        .filter(|r| r.is_ok())
+        .map(|r| r.result.instructions + opts.window.warmup)
+        .sum();
+    let rate = if wall_seconds > 0.0 { simulated as f64 / wall_seconds } else { 0.0 };
+    let json = format!(
+        "{{\n  \"bench\": \"fig7\",\n  \"scale\": \"{}\",\n  \"warmup_instructions\": {},\n  \
+         \"measure_instructions\": {},\n  \"points\": {},\n  \"points_ok\": {},\n  \
+         \"wall_seconds\": {:.3},\n  \"simulated_instructions\": {},\n  \
+         \"simulated_instr_per_sec\": {:.0},\n  \"threads\": {}\n}}\n",
+        format!("{:?}", opts.scale).to_lowercase(),
+        opts.window.warmup,
+        opts.window.measure,
+        records.len(),
+        ok,
+        wall_seconds,
+        simulated,
+        rate,
+        rayon::current_num_threads(),
+    );
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, json)
+}
 
 fn main() -> ExitCode {
     let opts = HarnessOpts::parse_args();
@@ -26,8 +64,19 @@ fn main() -> ExitCode {
     let mut all_kinds = vec![SystemKind::Baseline];
     all_kinds.extend_from_slice(&kinds);
     let points = cross(&opts.workloads(), &all_kinds);
+    // Wall-clock here times the sweep itself (graph/trace builds included);
+    // it feeds the BENCH_sim.json throughput summary, never any result.
+    let sweep_start = std::time::Instant::now();
     let records =
         run_or_exit(runner.run_matrix_with(&points, &opts.matrix_options("fig7")), "fig7");
+    let wall = sweep_start.elapsed().as_secs_f64();
+    if let Some(path) = &opts.bench_out {
+        if let Err(e) = write_bench_summary(path, &opts, &records, wall) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote benchmark summary to {}", path.display());
+    }
 
     let mut headers = vec!["workload".to_string()];
     headers.extend(kinds.iter().map(|k| k.name().to_string()));

@@ -26,6 +26,13 @@ use std::process::ExitCode;
 ///   of completing the rest.
 /// * `--watchdog-cpi N` — per-point runaway ceiling of `N` cycles per
 ///   windowed instruction (default 512); `--no-watchdog` disarms it.
+/// * `--telemetry DIR` — collect interval snapshots + event traces for
+///   every simulated point and write `<DIR>/<workload>.<system>.intervals.jsonl`
+///   and `.trace.json` (Chrome trace-event format, loadable in Perfetto).
+/// * `--interval N` — telemetry snapshot period in traced instructions
+///   (default 100000; only meaningful with `--telemetry`).
+/// * `--bench-out PATH` — write a `BENCH_sim.json` wall-clock/throughput
+///   summary for the sweep (binaries that support it, e.g. `fig7`).
 ///
 /// Replay parallelism is controlled by `RAYON_NUM_THREADS` (defaults to
 /// the machine's available parallelism).
@@ -45,6 +52,12 @@ pub struct HarnessOpts {
     pub fail_fast: bool,
     /// Per-point runaway-simulation ceiling.
     pub watchdog: Watchdog,
+    /// Telemetry output directory (`None` = telemetry disabled).
+    pub telemetry: Option<PathBuf>,
+    /// Telemetry snapshot period in traced instructions.
+    pub interval: u64,
+    /// Where to write the sweep's wall-clock benchmark summary.
+    pub bench_out: Option<PathBuf>,
 }
 
 impl Default for HarnessOpts {
@@ -58,6 +71,9 @@ impl Default for HarnessOpts {
             resume: false,
             fail_fast: false,
             watchdog: Watchdog::CyclesPerInstr(Watchdog::DEFAULT_CPI),
+            telemetry: None,
+            interval: simtel::DEFAULT_INTERVAL_INSTRUCTIONS,
+            bench_out: None,
         }
     }
 }
@@ -127,7 +143,20 @@ impl HarnessOpts {
                 "--no-watchdog" => {
                     opts.watchdog = Watchdog::Off;
                 }
-                other => panic!("unknown argument {other:?} (try --quick / --scale / --warmup / --measure / --only / --manifest / --no-manifest / --resume / --fail-fast / --watchdog-cpi / --no-watchdog)"),
+                "--telemetry" => {
+                    opts.telemetry = Some(it.next().expect("--telemetry needs a directory").into());
+                }
+                "--interval" => {
+                    opts.interval = it
+                        .next()
+                        .expect("--interval needs a value")
+                        .parse()
+                        .expect("bad --interval");
+                }
+                "--bench-out" => {
+                    opts.bench_out = Some(it.next().expect("--bench-out needs a path").into());
+                }
+                other => panic!("unknown argument {other:?} (try --quick / --scale / --warmup / --measure / --only / --manifest / --no-manifest / --resume / --fail-fast / --watchdog-cpi / --no-watchdog / --telemetry / --interval / --bench-out)"),
             }
         }
         opts.window = Window::new(
@@ -181,6 +210,37 @@ impl HarnessOpts {
     /// The workloads passing `--only`, in suite order.
     pub fn workloads(&self) -> Vec<gpworkloads::Workload> {
         gpworkloads::all_workloads().into_iter().filter(|w| self.selected(&w.name())).collect()
+    }
+
+    /// The telemetry collector configuration, or `None` when `--telemetry`
+    /// was not given (the simulator then runs with the zero-cost no-op
+    /// sink and manifests stay byte-identical).
+    pub fn telemetry_config(&self) -> Option<simtel::TelemetryConfig> {
+        self.telemetry.as_ref()?;
+        Some(simtel::TelemetryConfig {
+            interval_instructions: self.interval.max(1),
+            ..Default::default()
+        })
+    }
+
+    /// Write one point's telemetry under the `--telemetry` directory as
+    /// `<point>.intervals.jsonl` + `<point>.trace.json` (Chrome trace-event
+    /// JSON, loadable in Perfetto / `chrome://tracing`).
+    pub fn write_telemetry(
+        &self,
+        point: &str,
+        output: &simtel::TelemetryOutput,
+    ) -> std::io::Result<()> {
+        let Some(dir) = &self.telemetry else { return Ok(()) };
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(
+            dir.join(format!("{point}.intervals.jsonl")),
+            simtel::export::intervals_jsonl(&output.intervals),
+        )?;
+        std::fs::write(
+            dir.join(format!("{point}.trace.json")),
+            simtel::export::chrome_trace(output),
+        )
     }
 }
 
@@ -348,6 +408,25 @@ mod tests {
         // --resume without a manifest degenerates to a plain run.
         let args: Vec<String> = ["--resume", "--no-manifest"].map(String::from).into();
         assert!(!HarnessOpts::parse(args).matrix_options("fig7").resume);
+    }
+
+    #[test]
+    fn telemetry_flags_parse_and_gate_the_config() {
+        let o = HarnessOpts::parse(Vec::<String>::new());
+        assert_eq!(o.telemetry, None);
+        assert_eq!(o.interval, simtel::DEFAULT_INTERVAL_INSTRUCTIONS);
+        assert_eq!(o.bench_out, None);
+        assert!(o.telemetry_config().is_none(), "no --telemetry, no collector");
+
+        let args: Vec<String> =
+            ["--telemetry", "out/tel", "--interval", "5000", "--bench-out", "BENCH_sim.json"]
+                .map(String::from)
+                .into();
+        let o = HarnessOpts::parse(args);
+        assert_eq!(o.telemetry.as_deref(), Some(Path::new("out/tel")));
+        assert_eq!(o.bench_out.as_deref(), Some(Path::new("BENCH_sim.json")));
+        let cfg = o.telemetry_config().expect("collector enabled");
+        assert_eq!(cfg.interval_instructions, 5000);
     }
 
     #[test]

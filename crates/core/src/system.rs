@@ -36,6 +36,7 @@ pub struct SdcCore<R: Router> {
     sdc_served_by_hierarchy: u64,
     sdcdir_evict_invalidations: u64,
     pf_buf: Vec<u64>,
+    tel: simtel::TelemetryHandle,
 }
 
 impl<R: Router> SdcCore<R> {
@@ -53,6 +54,7 @@ impl<R: Router> SdcCore<R> {
             sdc_served_by_hierarchy: 0,
             sdcdir_evict_invalidations: 0,
             pf_buf: Vec::with_capacity(4),
+            tel: simtel::TelemetryHandle::disabled(),
         }
     }
 
@@ -163,6 +165,7 @@ impl<R: Router> SdcCore<R> {
         backend: &mut SharedBackend,
     ) -> AccessOutcome {
         self.routed_to_sdc += 1;
+        self.tel.event(now, || simtel::EventKind::SdcBypass);
         let block = block_of(r.addr);
         let t0 = now + self.inner.tlb.translate(r.addr);
 
@@ -170,25 +173,28 @@ impl<R: Router> SdcCore<R> {
         let t_sdc_done = t0 + self.sdc.latency;
         if hit {
             self.sdc_prefetch(r.pc, block, true, backend, t_sdc_done);
-            return AccessOutcome { completion: t_sdc_done, served_by: ServedBy::Sdc };
+            return AccessOutcome::new(t_sdc_done, ServedBy::Sdc);
         }
 
         let t_miss = match self.sdc_mshr.acquire(block, t_sdc_done) {
             MshrOutcome::Merged { done } => {
-                return AccessOutcome { completion: done, served_by: ServedBy::Sdc }
+                return AccessOutcome::new(done, ServedBy::Sdc);
             }
             MshrOutcome::Granted { start } => start,
         };
+        let sdc_stalled = t_miss > t_sdc_done;
 
         // Lightweight coherence message: the cache directory and the SDCDir
         // are probed in parallel (Section III-C).
         let t_probe = t_miss + self.cfg.dir_probe_latency.max(self.sdcdir.latency);
         let _ = self.sdcdir.contains(block); // directory bookkeeping/stats
 
-        let (completion, served_by) = match self.hierarchy_probe(block, backend) {
+        let (completion, served_by, dram_stalled) = match self.hierarchy_probe(block, backend) {
             Some((level_latency, level)) => {
+                // The LP called a hierarchy-resident line averse.
                 self.sdc_served_by_hierarchy += 1;
                 let done = t_probe + level_latency;
+                self.tel.event(done, || simtel::EventKind::LpMispredict);
                 if r.is_write {
                     // Writes leave a single valid copy: pull the block out
                     // of the hierarchy (writeback absorbed by the fetch) and
@@ -196,20 +202,20 @@ impl<R: Router> SdcCore<R> {
                     self.invalidate_hierarchy(block, backend);
                     self.fill_sdc(r.addr, block, true, false, backend, done);
                 }
-                (done, level)
+                (done, level, false)
             }
             None => {
                 // Fast path to DRAM: bypass the L2C and LLC entirely and
                 // fill only the SDC (Section III-A).
-                let done = backend.dram_fetch(block, t_probe);
+                let (done, stalled) = backend.dram_fetch(block, t_probe);
                 self.fill_sdc(r.addr, block, r.is_write, false, backend, done);
-                (done, ServedBy::Dram)
+                (done, ServedBy::Dram, stalled)
             }
         };
         self.sdc_mshr.commit(block, completion);
         // Prefetch behind the demand so it never steals the DRAM bank.
         self.sdc_prefetch(r.pc, block, false, backend, completion);
-        AccessOutcome { completion, served_by }
+        AccessOutcome::new(completion, served_by).with_mshr_stall(sdc_stalled || dram_stalled)
     }
 }
 
@@ -236,7 +242,7 @@ impl<R: Router> CoreMemory for SdcCore<R> {
                         let t0 = now + self.inner.tlb.translate(r.addr);
                         let completion = t0 + self.sdcdir.latency + self.sdc.latency;
                         let _ = self.sdc.access(r.addr, block, false, ReplCtx::NONE);
-                        AccessOutcome { completion, served_by: ServedBy::Sdc }
+                        AccessOutcome::new(completion, ServedBy::Sdc)
                     }
                 } else {
                     self.inner.access(r, now, backend)
@@ -262,6 +268,25 @@ impl<R: Router> CoreMemory for SdcCore<R> {
         self.routed_to_sdc = 0;
         self.sdc_served_by_hierarchy = 0;
         self.sdcdir_evict_invalidations = 0;
+    }
+
+    fn attach_telemetry(&mut self, tel: simtel::TelemetryHandle) {
+        self.inner.attach_telemetry(tel.clone());
+        self.tel = tel;
+    }
+
+    fn telemetry_counters(&self) -> simtel::ExtraCounters {
+        let inner = self.inner.telemetry_counters();
+        let lp = self.router.lp_stats().unwrap_or_default();
+        simtel::ExtraCounters {
+            mshr_high_water: inner.mshr_high_water.max(self.sdc_mshr.high_water),
+            mshr_stall_cycles: inner.mshr_stall_cycles + self.sdc_mshr.stall_cycles,
+            lp_lookups: lp.lookups,
+            lp_sdc_routes: lp.sdc_routes,
+            lp_hierarchy_routes: lp.hierarchy_routes,
+            sdc_bypasses: self.routed_to_sdc,
+            sdcdir_occupancy: self.sdcdir.occupancy() as u64,
+        }
     }
 }
 

@@ -33,6 +33,8 @@ pub struct Dram {
     rcd_cas: u64,
     rp_rcd_cas: u64,
     burst: u64,
+    /// Telemetry hook (disabled by default; row conflicts emit events).
+    tel: simtel::TelemetryHandle,
 }
 
 impl Dram {
@@ -47,7 +49,13 @@ impl Dram {
             rcd_cas: cfg.to_core_cycles(cfg.t_rcd + cfg.t_cas),
             rp_rcd_cas: cfg.to_core_cycles(cfg.t_rp + cfg.t_rcd + cfg.t_cas),
             burst: cfg.to_core_cycles(cfg.t_burst),
+            tel: simtel::TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attach the telemetry handle row-conflict events flow through.
+    pub fn attach_telemetry(&mut self, tel: simtel::TelemetryHandle) {
+        self.tel = tel;
     }
 
     /// Address mapping: low block bits pick the channel (spreads sequential
@@ -92,7 +100,10 @@ impl Dram {
         match outcome {
             RowOutcome::Hit => self.stats.row_hits += 1,
             RowOutcome::Miss => self.stats.row_misses += 1,
-            RowOutcome::Conflict => self.stats.row_conflicts += 1,
+            RowOutcome::Conflict => {
+                self.stats.row_conflicts += 1;
+                self.tel.event(start, || simtel::EventKind::DramRowConflict);
+            }
         }
         if is_write {
             self.stats.writes += 1;

@@ -3,10 +3,14 @@
 //! measurement windows (the SimPoint-style methodology of Section IV-C).
 
 use crate::block::block_of;
-use crate::hierarchy::MemorySystem;
+use crate::hierarchy::{MemorySystem, ServedBy};
 use crate::rob::RobModel;
-use crate::stats::{SimResult, StrideProfile, StrideProfiler};
+use crate::stats::{CacheStats, HierStats, SimResult, StrideProfile, StrideProfiler};
 use crate::trace::{CompactTrace, MemRef, Tracer};
+use simtel::{
+    DramDelta, EventKind, ExtraCounters, LevelDelta, LpDelta, StallBuckets, StallTag,
+    TelemetryHandle, TelemetryInterval,
+};
 
 /// Warmup/measurement window lengths, in instructions.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +66,116 @@ impl Budget {
     }
 }
 
+/// Rolling baseline behind interval emission: the cumulative counters as
+/// of the last snapshot, so each interval is an exact delta. Reset at the
+/// warmup/measurement boundary so intervals cover only the window the
+/// final [`SimResult`] reports — interval sums reconcile with it exactly.
+/// Shared with [`crate::multicore`], which keeps one per core.
+#[derive(Default)]
+pub(crate) struct TelSnap {
+    pub(crate) index: u64,
+    pub(crate) last_cycle: u64,
+    pub(crate) prev_instrs: u64,
+    /// Measured-instruction count that triggers the next snapshot
+    /// (0 while telemetry is disabled — the hot-path guard).
+    pub(crate) next_instrs: u64,
+    pub(crate) prev_stats: HierStats,
+    pub(crate) prev_extra: ExtraCounters,
+    pub(crate) prev_stalls: StallBuckets,
+}
+
+impl TelSnap {
+    /// Anchor the baseline at the start of a measurement window.
+    pub(crate) fn arm(
+        &mut self,
+        every: u64,
+        cycle: u64,
+        stats: HierStats,
+        extra: ExtraCounters,
+        stalls: StallBuckets,
+    ) {
+        *self = TelSnap {
+            index: 0,
+            last_cycle: cycle,
+            prev_instrs: 0,
+            next_instrs: every,
+            prev_stats: stats,
+            prev_extra: extra,
+            prev_stalls: stalls,
+        };
+    }
+
+    /// Diff the cumulative counters against the baseline into one interval
+    /// record, then roll the baseline forward to `end_cycle`/`measured`.
+    pub(crate) fn build(
+        &mut self,
+        core: u32,
+        end_cycle: u64,
+        measured: u64,
+        stats: HierStats,
+        extra: ExtraCounters,
+        stalls_now: StallBuckets,
+    ) -> TelemetryInterval {
+        fn level(now: &CacheStats, prev: &CacheStats) -> LevelDelta {
+            LevelDelta {
+                accesses: now.accesses.saturating_sub(prev.accesses),
+                hits: now.hits.saturating_sub(prev.hits),
+                misses: now.misses.saturating_sub(prev.misses),
+            }
+        }
+        let mut stalls = stalls_now.delta_since(&self.prev_stalls);
+        stalls.busy = end_cycle.saturating_sub(self.last_cycle).saturating_sub(stalls.attributed());
+        let interval = TelemetryInterval {
+            index: self.index,
+            core,
+            start_cycle: self.last_cycle,
+            end_cycle,
+            instructions: measured.saturating_sub(self.prev_instrs),
+            l1d: level(&stats.l1d, &self.prev_stats.l1d),
+            sdc: level(&stats.sdc, &self.prev_stats.sdc),
+            l2c: level(&stats.l2c, &self.prev_stats.l2c),
+            llc: level(&stats.llc, &self.prev_stats.llc),
+            dram: DramDelta {
+                reads: stats.dram.reads.saturating_sub(self.prev_stats.dram.reads),
+                writes: stats.dram.writes.saturating_sub(self.prev_stats.dram.writes),
+                row_hits: stats.dram.row_hits.saturating_sub(self.prev_stats.dram.row_hits),
+                row_misses: stats.dram.row_misses.saturating_sub(self.prev_stats.dram.row_misses),
+                row_conflicts: stats
+                    .dram
+                    .row_conflicts
+                    .saturating_sub(self.prev_stats.dram.row_conflicts),
+            },
+            mshr_high_water: extra.mshr_high_water,
+            lp: LpDelta {
+                lookups: extra.lp_lookups.saturating_sub(self.prev_extra.lp_lookups),
+                sdc_routes: extra.lp_sdc_routes.saturating_sub(self.prev_extra.lp_sdc_routes),
+                hierarchy_routes: extra
+                    .lp_hierarchy_routes
+                    .saturating_sub(self.prev_extra.lp_hierarchy_routes),
+            },
+            sdc_bypasses: extra.sdc_bypasses.saturating_sub(self.prev_extra.sdc_bypasses),
+            stalls,
+        };
+        self.index += 1;
+        self.last_cycle = end_cycle;
+        self.prev_instrs = measured;
+        self.prev_stats = stats;
+        self.prev_extra = extra;
+        self.prev_stalls = stalls_now;
+        interval
+    }
+}
+
+fn tel_level(s: ServedBy) -> simtel::Level {
+    match s {
+        ServedBy::L1d => simtel::Level::L1d,
+        ServedBy::Sdc => simtel::Level::Sdc,
+        ServedBy::L2c => simtel::Level::L2c,
+        ServedBy::Llc => simtel::Level::Llc,
+        ServedBy::Dram => simtel::Level::Dram,
+    }
+}
+
 /// The engine: owns the core model and the memory system under test.
 ///
 /// Implements [`Tracer`], so an instrumented kernel can stream into it
@@ -78,6 +192,8 @@ pub struct Engine<M: MemorySystem> {
     budget: Budget,
     mem_events: u64,
     timed_out: bool,
+    tel: TelemetryHandle,
+    tel_snap: TelSnap,
 }
 
 impl<M: MemorySystem> Engine<M> {
@@ -93,6 +209,8 @@ impl<M: MemorySystem> Engine<M> {
             budget: Budget::default(),
             mem_events: 0,
             timed_out: false,
+            tel: TelemetryHandle::disabled(),
+            tel_snap: TelSnap::default(),
         };
         if window.warmup == 0 {
             e.begin_measurement();
@@ -110,6 +228,33 @@ impl<M: MemorySystem> Engine<M> {
         self.budget = budget;
     }
 
+    /// Attach a telemetry sink. Interval snapshots fire every
+    /// `tel.interval_instructions()` measured instructions; component
+    /// events (DRAM row conflicts, SDC routing) flow through clones of
+    /// the same handle. Attach before running — if the measurement
+    /// window is already open (zero warmup), the interval baseline is
+    /// re-anchored to the current state.
+    pub fn attach_telemetry(&mut self, tel: TelemetryHandle) {
+        self.mem.attach_telemetry(tel.clone());
+        self.tel = tel;
+        if self.in_measurement {
+            self.reset_tel_baseline();
+        }
+    }
+
+    fn reset_tel_baseline(&mut self) {
+        if !self.tel.enabled() {
+            return;
+        }
+        self.tel_snap.arm(
+            self.tel.interval_instructions(),
+            self.rob.current_cycle(),
+            self.mem.collect_stats(),
+            self.mem.telemetry_counters(),
+            self.rob.stalls,
+        );
+    }
+
     /// Did the run cross a watchdog ceiling? (The partial result from
     /// [`Engine::finish`] is still valid measurement data up to the cut.)
     pub fn timed_out(&self) -> bool {
@@ -122,15 +267,14 @@ impl<M: MemorySystem> Engine<M> {
     }
 
     fn check_budget(&mut self) {
-        if let Some(max) = self.budget.max_cycles {
-            if self.rob.current_cycle() >= max {
-                self.timed_out = true;
-            }
+        if self.timed_out {
+            return;
         }
-        if let Some(max) = self.budget.max_events {
-            if self.mem_events >= max {
-                self.timed_out = true;
-            }
+        let cycles_hit = self.budget.max_cycles.is_some_and(|max| self.rob.current_cycle() >= max);
+        let events_hit = self.budget.max_events.is_some_and(|max| self.mem_events >= max);
+        if cycles_hit || events_hit {
+            self.timed_out = true;
+            self.tel.event(self.rob.current_cycle(), || EventKind::WatchdogTick);
         }
     }
 
@@ -141,6 +285,7 @@ impl<M: MemorySystem> Engine<M> {
         if let Some(p) = &mut self.profiler {
             *p = StrideProfiler::new();
         }
+        self.reset_tel_baseline();
     }
 
     fn note_instructions(&mut self, n: u64) {
@@ -150,6 +295,42 @@ impl<M: MemorySystem> Engine<M> {
         {
             self.begin_measurement();
         }
+        // `next_instrs` is 0 unless a sink is attached, so the disabled
+        // path pays exactly one compare here.
+        if self.tel_snap.next_instrs != 0 && self.in_measurement {
+            self.maybe_snapshot();
+        }
+    }
+
+    /// Emit at most one interval per call. The cadence is instruction
+    /// driven, but an interval must also advance the cycle clock so
+    /// `end_cycle` stays strictly monotone across snapshots.
+    fn maybe_snapshot(&mut self) {
+        let measured = self.instrs.saturating_sub(self.window.warmup);
+        if measured < self.tel_snap.next_instrs {
+            return;
+        }
+        let now = self.rob.current_cycle();
+        if now <= self.tel_snap.last_cycle {
+            return;
+        }
+        self.emit_interval(now, measured);
+        let every = self.tel.interval_instructions().max(1);
+        self.tel_snap.next_instrs = (measured / every + 1) * every;
+    }
+
+    fn emit_interval(&mut self, end_cycle: u64, measured: u64) {
+        let stats = self.mem.collect_stats();
+        let extra = self.mem.telemetry_counters();
+        let interval = self.tel_snap.build(
+            self.tel.core(),
+            end_cycle,
+            measured,
+            stats,
+            extra,
+            self.rob.stalls,
+        );
+        self.tel.interval(&interval);
     }
 
     /// Replay a recorded trace through the engine.
@@ -177,6 +358,18 @@ impl<M: MemorySystem> Engine<M> {
     /// Finish the run and produce the measurement-window result.
     pub fn finish(mut self) -> SimResult {
         let end = self.rob.drain();
+        // Flush the tail interval so per-interval sums reconcile exactly
+        // with the final window stats. Draining may not advance the
+        // dispatch clock, so the tail is granted at least one cycle.
+        if self.tel_snap.next_instrs != 0 && self.in_measurement {
+            let measured = self.instrs.saturating_sub(self.window.warmup);
+            let tail_is_empty = measured == self.tel_snap.prev_instrs
+                && self.mem.collect_stats() == self.tel_snap.prev_stats;
+            if !tail_is_empty {
+                let end_cycle = end.max(self.tel_snap.last_cycle + 1);
+                self.emit_interval(end_cycle, measured);
+            }
+        }
         let cycles = end.saturating_sub(self.measure_start_cycle).max(1);
         let instructions = if self.in_measurement {
             self.instrs.saturating_sub(self.window.warmup)
@@ -205,9 +398,25 @@ impl<M: MemorySystem> Tracer for Engine<M> {
         let d = self.rob.dispatch_slot();
         let outcome = self.mem.access(&r, d);
         // Stores retire through the write buffer: they do not block the ROB
-        // for their full memory latency.
-        let completion = if r.is_write { d + 1 } else { outcome.completion };
-        self.rob.complete_at(completion);
+        // for their full memory latency. Loads carry a stall tag naming
+        // what they wait on, so a later dispatch stall behind them can be
+        // attributed (MSHR pressure outranks the serving level: the delay
+        // existed before the access even issued).
+        let (completion, tag) = if r.is_write {
+            (d + 1, StallTag::Core)
+        } else if outcome.mshr_stalled {
+            (outcome.completion, StallTag::MshrFull)
+        } else if outcome.served_by_dram() {
+            (outcome.completion, StallTag::Dram)
+        } else {
+            (outcome.completion, StallTag::Mem)
+        };
+        self.rob.complete_tagged(completion, tag);
+        if self.tel.enabled() && !matches!(outcome.served_by, ServedBy::L1d | ServedBy::Sdc) {
+            self.tel.event(completion, || EventKind::CacheMiss {
+                served_by: tel_level(outcome.served_by),
+            });
+        }
         if self.in_measurement {
             if let Some(p) = &mut self.profiler {
                 p.observe(r.pc, block_of(r.addr), outcome.served_by_dram());
@@ -411,6 +620,107 @@ mod tests {
             e.finish()
         };
         assert_eq!(run(None), run(Some(Budget::unlimited())));
+    }
+
+    fn miss_heavy_run(e: &mut Engine<BaselineHierarchy>) {
+        let mut i = 0u64;
+        while !e.done() {
+            e.load(1, 0, (i * 7919) % 50_000 * 64);
+            e.bubble(2);
+            i += 1;
+        }
+    }
+
+    #[test]
+    fn warmup_to_measurement_reset_boundary_is_exact() {
+        // Cross the boundary mid-burst: 150 loads against a 100-instruction
+        // warmup. The window stats must count exactly the 50 measurement
+        // loads — none of the warmup, all of the rest.
+        let mut e = engine(Window::new(100, 1000));
+        for i in 0..150u64 {
+            e.load(1, 0, i * 64);
+        }
+        let r = e.finish();
+        assert_eq!(r.instructions, 50);
+        assert_eq!(r.stats.l1d.accesses, 50, "stats reset exactly at the boundary");
+    }
+
+    #[test]
+    fn telemetry_disabled_or_enabled_never_perturbs_results() {
+        // The no-op default and an attached collector must all produce the
+        // same simulation — telemetry observes, never steers. This pins the
+        // zero-cost-when-disabled contract and manifest byte-identity.
+        let mut plain = engine(Window::new(200, 20_000));
+        miss_heavy_run(&mut plain);
+        let plain_r = plain.finish();
+
+        let mut noop = engine(Window::new(200, 20_000));
+        noop.attach_telemetry(simtel::TelemetryHandle::disabled());
+        miss_heavy_run(&mut noop);
+        assert_eq!(plain_r, noop.finish());
+
+        let cfg = simtel::TelemetryConfig { interval_instructions: 1000, ..Default::default() };
+        let tel = simtel::TelemetryHandle::collector(&cfg);
+        let mut traced = engine(Window::new(200, 20_000));
+        traced.attach_telemetry(tel.clone());
+        miss_heavy_run(&mut traced);
+        assert_eq!(plain_r, traced.finish());
+        let out = tel.take_output().unwrap();
+        assert!(!out.intervals.is_empty());
+    }
+
+    #[test]
+    fn interval_sums_reconcile_with_final_stats() {
+        let cfg = simtel::TelemetryConfig { interval_instructions: 1000, ..Default::default() };
+        let tel = simtel::TelemetryHandle::collector(&cfg);
+        let mut e = engine(Window::new(500, 10_000));
+        e.attach_telemetry(tel.clone());
+        miss_heavy_run(&mut e);
+        let r = e.finish();
+        let out = tel.take_output().unwrap();
+        assert!(out.intervals.len() >= 5, "got {} intervals", out.intervals.len());
+
+        // Strict monotonicity and index contiguity.
+        for (i, iv) in out.intervals.iter().enumerate() {
+            assert_eq!(iv.index, i as u64);
+            assert!(iv.end_cycle > iv.start_cycle, "empty interval at {i}");
+            if i > 0 {
+                assert_eq!(iv.start_cycle, out.intervals[i - 1].end_cycle);
+            }
+        }
+
+        // Exact reconciliation with the window result.
+        let sum =
+            |f: fn(&simtel::TelemetryInterval) -> u64| -> u64 { out.intervals.iter().map(f).sum() };
+        assert_eq!(sum(|iv| iv.instructions), r.instructions);
+        assert_eq!(sum(|iv| iv.l1d.accesses), r.stats.l1d.accesses);
+        assert_eq!(sum(|iv| iv.l1d.misses), r.stats.l1d.misses);
+        assert_eq!(sum(|iv| iv.l2c.misses), r.stats.l2c.misses);
+        assert_eq!(sum(|iv| iv.llc.misses), r.stats.llc.misses);
+        assert_eq!(sum(|iv| iv.dram.reads), r.stats.dram.reads);
+        assert_eq!(sum(|iv| iv.dram.row_hits), r.stats.dram.row_hits);
+
+        // Events carry simulated cycles and the miss vocabulary.
+        assert!(out.events.iter().any(|ev| matches!(
+            ev.kind,
+            simtel::EventKind::CacheMiss { served_by: simtel::Level::Dram }
+        )));
+    }
+
+    #[test]
+    fn watchdog_fire_emits_a_tick_event() {
+        let cfg = simtel::TelemetryConfig::default();
+        let tel = simtel::TelemetryHandle::collector(&cfg);
+        let mut e = engine(Window::new(0, 50_000));
+        e.attach_telemetry(tel.clone());
+        e.set_budget(Budget::events(100));
+        miss_heavy_run(&mut e);
+        assert!(e.timed_out());
+        let _ = e.finish();
+        let out = tel.take_output().unwrap();
+        let ticks =
+            out.events.iter().filter(|ev| ev.kind == simtel::EventKind::WatchdogTick).count();
+        assert_eq!(ticks, 1, "the watchdog latches: one tick per run");
     }
 
     #[test]

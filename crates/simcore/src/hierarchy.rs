@@ -33,9 +33,21 @@ pub struct AccessOutcome {
     /// Cycle the data is available to the core.
     pub completion: u64,
     pub served_by: ServedBy,
+    /// True when the access was delayed by a full MSHR file anywhere on
+    /// its path (telemetry: the engine tags the ROB entry with it).
+    pub mshr_stalled: bool,
 }
 
 impl AccessOutcome {
+    pub fn new(completion: u64, served_by: ServedBy) -> Self {
+        AccessOutcome { completion, served_by, mshr_stalled: false }
+    }
+
+    pub fn with_mshr_stall(mut self, stalled: bool) -> Self {
+        self.mshr_stalled = stalled;
+        self
+    }
+
     pub fn served_by_dram(&self) -> bool {
         self.served_by == ServedBy::Dram
     }
@@ -50,6 +62,15 @@ pub trait MemorySystem {
     /// Clear statistics at the warmup/measurement boundary
     /// (microarchitectural state is preserved).
     fn reset_stats(&mut self);
+    /// Hand a telemetry handle to every component that emits events
+    /// (DRAM row conflicts, SDC routing). The default keeps telemetry
+    /// fully optional: systems that don't override it simply never emit.
+    fn attach_telemetry(&mut self, _tel: simtel::TelemetryHandle) {}
+    /// Cumulative side-channel counters for interval snapshots (MSHR
+    /// pressure, LP routing mix, SDC directory occupancy).
+    fn telemetry_counters(&self) -> simtel::ExtraCounters {
+        simtel::ExtraCounters::default()
+    }
 }
 
 /// The per-core private component of any evaluated system: it sees the
@@ -61,6 +82,13 @@ pub trait CoreMemory {
     /// Per-core statistics (the caller merges in the shared backend's).
     fn collect_core_stats(&self) -> HierStats;
     fn reset_stats(&mut self);
+    /// See [`MemorySystem::attach_telemetry`].
+    fn attach_telemetry(&mut self, _tel: simtel::TelemetryHandle) {}
+    /// See [`MemorySystem::telemetry_counters`] (core-private part only;
+    /// the caller merges the shared backend's).
+    fn telemetry_counters(&self) -> simtel::ExtraCounters {
+        simtel::ExtraCounters::default()
+    }
 }
 
 impl<M: MemorySystem + ?Sized> MemorySystem for Box<M> {
@@ -75,6 +103,14 @@ impl<M: MemorySystem + ?Sized> MemorySystem for Box<M> {
     fn reset_stats(&mut self) {
         (**self).reset_stats()
     }
+
+    fn attach_telemetry(&mut self, tel: simtel::TelemetryHandle) {
+        (**self).attach_telemetry(tel)
+    }
+
+    fn telemetry_counters(&self) -> simtel::ExtraCounters {
+        (**self).telemetry_counters()
+    }
 }
 
 impl<C: CoreMemory + ?Sized> CoreMemory for Box<C> {
@@ -88,6 +124,14 @@ impl<C: CoreMemory + ?Sized> CoreMemory for Box<C> {
 
     fn reset_stats(&mut self) {
         (**self).reset_stats()
+    }
+
+    fn attach_telemetry(&mut self, tel: simtel::TelemetryHandle) {
+        (**self).attach_telemetry(tel)
+    }
+
+    fn telemetry_counters(&self) -> simtel::ExtraCounters {
+        (**self).telemetry_counters()
     }
 }
 
@@ -201,18 +245,18 @@ impl SharedBackend {
     /// Demand access arriving at the LLC at cycle `t_llc`. `oracle_pos` is
     /// the issuing core's T-OPT position (in hinted-access units, the same
     /// clock `MemRef::next_use` hints are expressed in).
-    /// Returns (completion cycle, who served it).
-    pub fn access(&mut self, r: &MemRef, t_llc: u64, oracle_pos: u32) -> (u64, ServedBy) {
+    /// Returns (completion cycle, who served it, MSHR-stalled flag).
+    pub fn access(&mut self, r: &MemRef, t_llc: u64, oracle_pos: u32) -> (u64, ServedBy, bool) {
         let block = block_of(r.addr);
         let ctx = ReplCtx { next_use: r.next_use, pos: oracle_pos, sid: r.sid };
         let hit = self.llc.access(r.addr, block, r.is_write, ctx);
         let t_llc_done = t_llc + self.llc.latency();
         if hit {
-            return (t_llc_done, ServedBy::Llc);
+            return (t_llc_done, ServedBy::Llc, false);
         }
-        let t_dram = match self.llc_mshr.acquire(block, t_llc_done) {
-            MshrOutcome::Merged { done } => return (done, ServedBy::Llc),
-            MshrOutcome::Granted { start } => start,
+        let (t_dram, stalled) = match self.llc_mshr.acquire(block, t_llc_done) {
+            MshrOutcome::Merged { done } => return (done, ServedBy::Llc, false),
+            MshrOutcome::Granted { start } => (start, start > t_llc_done),
         };
         let done = self.dram.access(block, false, t_dram);
         self.llc_mshr.commit(block, done);
@@ -221,19 +265,20 @@ impl SharedBackend {
                 self.dram.access(ev.block, true, done);
             }
         }
-        (done, ServedBy::Dram)
+        (done, ServedBy::Dram, stalled)
     }
 
     /// Fetch a block directly from DRAM, bypassing the LLC (the SDC miss
     /// path). The block is *not* filled anywhere here.
-    pub fn dram_fetch(&mut self, block: u64, t: u64) -> u64 {
-        let t_dram = match self.llc_mshr.acquire(block, t) {
-            MshrOutcome::Merged { done } => return done,
-            MshrOutcome::Granted { start } => start,
+    /// Returns (completion cycle, MSHR-stalled flag).
+    pub fn dram_fetch(&mut self, block: u64, t: u64) -> (u64, bool) {
+        let (t_dram, stalled) = match self.llc_mshr.acquire(block, t) {
+            MshrOutcome::Merged { done } => return (done, false),
+            MshrOutcome::Granted { start } => (start, start > t),
         };
         let done = self.dram.access(block, false, t_dram);
         self.llc_mshr.commit(block, done);
-        done
+        (done, stalled)
     }
 
     /// Write a dirty line evicted from a private L2 back into the LLC
@@ -271,6 +316,20 @@ impl SharedBackend {
     pub fn reset_stats(&mut self) {
         self.llc.stats_mut().reset();
         self.dram.stats.reset();
+    }
+
+    /// Forward a telemetry handle to the event-emitting components.
+    pub fn attach_telemetry(&mut self, tel: simtel::TelemetryHandle) {
+        self.dram.attach_telemetry(tel);
+    }
+
+    /// Backend share of [`MemorySystem::telemetry_counters`].
+    pub fn telemetry_counters(&self) -> simtel::ExtraCounters {
+        simtel::ExtraCounters {
+            mshr_high_water: self.llc_mshr.high_water,
+            mshr_stall_cycles: self.llc_mshr.stall_cycles,
+            ..Default::default()
+        }
     }
 }
 
@@ -426,7 +485,7 @@ impl CoreSide {
         r: &MemRef,
         t_l2: u64,
         backend: &mut SharedBackend,
-    ) -> (u64, ServedBy) {
+    ) -> (u64, ServedBy, bool) {
         let block = block_of(r.addr);
         let ctx = ReplCtx { next_use: r.next_use, pos: self.oracle_pos, sid: r.sid };
 
@@ -434,20 +493,20 @@ impl CoreSide {
         let t_l2_done = t_l2 + self.l2c.latency;
         if l2_hit {
             self.l2_prefetch(r.pc, block, true, backend, t_l2_done);
-            return (t_l2_done, ServedBy::L2c);
+            return (t_l2_done, ServedBy::L2c, false);
         }
 
-        let t_llc = match self.l2_mshr.acquire(block, t_l2_done) {
-            MshrOutcome::Merged { done } => return (done, ServedBy::L2c),
-            MshrOutcome::Granted { start } => start,
+        let (t_llc, l2_stalled) = match self.l2_mshr.acquire(block, t_l2_done) {
+            MshrOutcome::Merged { done } => return (done, ServedBy::L2c, false),
+            MshrOutcome::Granted { start } => (start, start > t_l2_done),
         };
 
-        let (done, served_by) = backend.access(r, t_llc, self.oracle_pos);
+        let (done, served_by, llc_stalled) = backend.access(r, t_llc, self.oracle_pos);
         self.l2_mshr.commit(block, done);
         // Prefetches issue behind the demand so they never steal its DRAM
         // bank or bus slot.
         self.l2_prefetch(r.pc, block, false, backend, done);
-        (done, served_by)
+        (done, served_by, l2_stalled || llc_stalled)
     }
 }
 
@@ -466,7 +525,7 @@ impl CoreMemory for CoreSide {
         let t_l1_done = t0 + self.l1d.latency;
         if l1_hit {
             self.l1_prefetch(r.pc, block, true, backend, t_l1_done);
-            return AccessOutcome { completion: t_l1_done, served_by: ServedBy::L1d };
+            return AccessOutcome::new(t_l1_done, ServedBy::L1d);
         }
 
         // Victim-cache probe (when configured): a hit swaps the line back
@@ -477,18 +536,16 @@ impl CoreMemory for CoreSide {
                 {
                     self.handle_l1_eviction(ev, backend, t_l1_done);
                 }
-                return AccessOutcome { completion: t_l1_done + 1, served_by: ServedBy::L1d };
+                return AccessOutcome::new(t_l1_done + 1, ServedBy::L1d);
             }
         }
 
-        let t_l2 = match self.l1_mshr.acquire(block, t_l1_done) {
-            MshrOutcome::Merged { done } => {
-                return AccessOutcome { completion: done, served_by: ServedBy::L1d }
-            }
-            MshrOutcome::Granted { start } => start,
+        let (t_l2, l1_stalled) = match self.l1_mshr.acquire(block, t_l1_done) {
+            MshrOutcome::Merged { done } => return AccessOutcome::new(done, ServedBy::L1d),
+            MshrOutcome::Granted { start } => (start, start > t_l1_done),
         };
 
-        let (completion, served_by) = self.access_below_l1(r, t_l2, backend);
+        let (completion, served_by, below_stalled) = self.access_below_l1(r, t_l2, backend);
         self.l1_mshr.commit(block, completion);
 
         // Fill the private levels on the way back.
@@ -501,7 +558,7 @@ impl CoreMemory for CoreSide {
             self.handle_l1_eviction(ev, backend, completion);
         }
         self.l1_prefetch(r.pc, block, false, backend, completion);
-        AccessOutcome { completion, served_by }
+        AccessOutcome::new(completion, served_by).with_mshr_stall(l1_stalled || below_stalled)
     }
 
     fn collect_core_stats(&self) -> HierStats {
@@ -520,6 +577,14 @@ impl CoreMemory for CoreSide {
         self.l2c.stats.reset();
         self.tlb.dtlb_stats.reset();
         self.tlb.stlb_stats.reset();
+    }
+
+    fn telemetry_counters(&self) -> simtel::ExtraCounters {
+        simtel::ExtraCounters {
+            mshr_high_water: self.l1_mshr.high_water.max(self.l2_mshr.high_water),
+            mshr_stall_cycles: self.l1_mshr.stall_cycles + self.l2_mshr.stall_cycles,
+            ..Default::default()
+        }
     }
 }
 
@@ -550,6 +615,21 @@ impl<C: CoreMemory> MemorySystem for SingleCore<C> {
     fn reset_stats(&mut self) {
         self.core.reset_stats();
         self.backend.reset_stats();
+    }
+
+    fn attach_telemetry(&mut self, tel: simtel::TelemetryHandle) {
+        self.core.attach_telemetry(tel.clone());
+        self.backend.attach_telemetry(tel);
+    }
+
+    fn telemetry_counters(&self) -> simtel::ExtraCounters {
+        let core = self.core.telemetry_counters();
+        let back = self.backend.telemetry_counters();
+        simtel::ExtraCounters {
+            mshr_high_water: core.mshr_high_water.max(back.mshr_high_water),
+            mshr_stall_cycles: core.mshr_stall_cycles + back.mshr_stall_cycles,
+            ..core
+        }
     }
 }
 
@@ -703,8 +783,9 @@ mod tests {
         cfg.l1d.prefetcher = PrefetcherKind::None;
         cfg.l2c.prefetcher = PrefetcherKind::None;
         let mut backend = SharedBackend::new(&cfg);
-        let done = backend.dram_fetch(42, 0);
+        let (done, stalled) = backend.dram_fetch(42, 0);
         assert!(done > 0);
+        assert!(!stalled, "an idle MSHR file cannot stall the fetch");
         assert!(!backend.llc.probe(42), "bypass fetch must not fill the LLC");
     }
 }

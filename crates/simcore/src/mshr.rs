@@ -30,12 +30,20 @@ pub struct MshrFile {
     pub merges: u64,
     /// Total cycles requests were delayed waiting for a free slot.
     pub stall_cycles: u64,
+    /// Highest simultaneous occupancy ever committed (telemetry).
+    pub high_water: u64,
 }
 
 impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs at least one entry");
-        MshrFile { entries: Vec::with_capacity(capacity), capacity, merges: 0, stall_cycles: 0 }
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            merges: 0,
+            stall_cycles: 0,
+            high_water: 0,
+        }
     }
 
     pub fn capacity(&self) -> usize {
@@ -102,6 +110,7 @@ impl MshrFile {
     pub fn commit(&mut self, block: u64, done: u64) {
         debug_assert!(self.entries.len() < self.capacity);
         self.entries.push(Entry { block, done });
+        self.high_water = self.high_water.max(self.entries.len() as u64);
     }
 }
 
@@ -158,6 +167,25 @@ mod tests {
         // Same block after completion is a fresh miss, not a merge.
         assert_eq!(m.acquire(5, 25), MshrOutcome::Granted { start: 25 });
         assert_eq!(m.merges, 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut m = MshrFile::new(4);
+        m.acquire(1, 0);
+        m.commit(1, 100);
+        m.acquire(2, 0);
+        m.commit(2, 100);
+        assert_eq!(m.high_water, 2);
+        // Entries complete; new misses never exceed the old peak.
+        m.acquire(3, 200);
+        m.commit(3, 250);
+        assert_eq!(m.high_water, 2, "purge must not inflate the mark");
+        m.acquire(4, 200);
+        m.commit(4, 250);
+        m.acquire(5, 200);
+        m.commit(5, 250);
+        assert_eq!(m.high_water, 3);
     }
 
     #[test]

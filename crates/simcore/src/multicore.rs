@@ -9,10 +9,12 @@
 //! contention — until every core has finished, matching the standard
 //! multi-programmed methodology.
 
+use crate::engine::TelSnap;
 use crate::hierarchy::{CoreMemory, SharedBackend};
 use crate::rob::RobModel;
 use crate::stats::SimResult;
 use crate::trace::CompactTrace;
+use simtel::TelemetryHandle;
 
 /// Per-core warmup/measure window (instructions).
 pub use crate::engine::Window;
@@ -26,6 +28,7 @@ struct CoreState {
     finished: bool,
     result_cycles: u64,
     result_instrs: u64,
+    tel: TelSnap,
 }
 
 /// The multi-core engine.
@@ -33,12 +36,27 @@ pub struct MulticoreEngine<C: CoreMemory> {
     mems: Vec<C>,
     backend: SharedBackend,
     window: Window,
+    tel: TelemetryHandle,
 }
 
 impl<C: CoreMemory> MulticoreEngine<C> {
     pub fn new(mems: Vec<C>, backend: SharedBackend, window: Window) -> Self {
         assert!(!mems.is_empty());
-        MulticoreEngine { mems, backend, window }
+        MulticoreEngine { mems, backend, window, tel: TelemetryHandle::disabled() }
+    }
+
+    /// Attach a telemetry sink: core `c` emits events and intervals through
+    /// `tel.for_core(c)`, the shared backend through
+    /// `tel.for_core(simtel::SHARED_CORE)`. Per-core interval snapshots
+    /// carry the private-side counters; the shared LLC/DRAM deltas are
+    /// machine-wide, so they stay zero in per-core intervals and appear
+    /// only in the final per-run stats.
+    pub fn attach_telemetry(&mut self, tel: TelemetryHandle) {
+        for (i, mem) in self.mems.iter_mut().enumerate() {
+            mem.attach_telemetry(tel.for_core(i as u32));
+        }
+        self.backend.attach_telemetry(tel.for_core(simtel::SHARED_CORE));
+        self.tel = tel;
     }
 
     /// Replay one trace per core to completion; returns one result per core.
@@ -65,6 +83,7 @@ impl<C: CoreMemory> MulticoreEngine<C> {
         assert!(traces.iter().all(|t| !t.is_empty()), "cannot replay an empty trace");
 
         let n = self.mems.len();
+        let every = self.tel.interval_instructions();
         let mut cores: Vec<CoreState> = (0..n)
             .map(|_| CoreState {
                 rob: RobModel::new(width, rob_entries),
@@ -75,8 +94,20 @@ impl<C: CoreMemory> MulticoreEngine<C> {
                 finished: false,
                 result_cycles: 0,
                 result_instrs: 0,
+                tel: TelSnap::default(),
             })
             .collect();
+        if every != 0 && self.window.warmup == 0 {
+            for (i, c) in cores.iter_mut().enumerate() {
+                c.tel.arm(
+                    every,
+                    0,
+                    self.mems[i].collect_core_stats(),
+                    self.mems[i].telemetry_counters(),
+                    c.rob.stalls,
+                );
+            }
+        }
         // Advance the unfinished core with the smallest local cycle.
         while let Some(cid) =
             (0..n).filter(|&i| !cores[i].finished).min_by_key(|&i| cores[i].rob.current_cycle())
@@ -107,6 +138,34 @@ impl<C: CoreMemory> MulticoreEngine<C> {
                 core.measuring = true;
                 core.measure_start_cycle = core.rob.current_cycle();
                 self.mems[cid].reset_stats();
+                if every != 0 {
+                    core.tel.arm(
+                        every,
+                        core.rob.current_cycle(),
+                        self.mems[cid].collect_core_stats(),
+                        self.mems[cid].telemetry_counters(),
+                        core.rob.stalls,
+                    );
+                }
+            }
+
+            // Interval snapshot (same cadence and monotonicity rules as the
+            // single-core engine; at most one per event).
+            if core.tel.next_instrs != 0 && core.measuring && !core.finished {
+                let measured = core.instrs.saturating_sub(self.window.warmup);
+                let now = core.rob.current_cycle();
+                if measured >= core.tel.next_instrs && now > core.tel.last_cycle {
+                    let interval = core.tel.build(
+                        cid as u32,
+                        now,
+                        measured,
+                        self.mems[cid].collect_core_stats(),
+                        self.mems[cid].telemetry_counters(),
+                        core.rob.stalls,
+                    );
+                    self.tel.interval(&interval);
+                    core.tel.next_instrs = (measured / every + 1) * every;
+                }
             }
 
             // Measurement complete for this core?
@@ -115,6 +174,22 @@ impl<C: CoreMemory> MulticoreEngine<C> {
                 let end = core.rob.drain();
                 core.result_cycles = end.saturating_sub(core.measure_start_cycle).max(1);
                 core.result_instrs = core.instrs - self.window.warmup.min(core.instrs);
+                // Tail flush so this core's interval sums cover its window.
+                if core.tel.next_instrs != 0 {
+                    let measured = core.result_instrs;
+                    if measured > core.tel.prev_instrs {
+                        let end_cycle = end.max(core.tel.last_cycle + 1);
+                        let interval = core.tel.build(
+                            cid as u32,
+                            end_cycle,
+                            measured,
+                            self.mems[cid].collect_core_stats(),
+                            self.mems[cid].telemetry_counters(),
+                            core.rob.stalls,
+                        );
+                        self.tel.interval(&interval);
+                    }
+                }
             }
 
             // Once the last core crosses warmup, reset the shared backend so
@@ -269,6 +344,49 @@ mod tests {
         let results = MulticoreEngine::new(mems, SharedBackend::new(&cfg), Window::new(0, 5000))
             .run(&[&trace], 4, 224);
         assert!(results[0].instructions >= 5000);
+    }
+
+    #[test]
+    fn per_core_intervals_are_monotone_and_reconcile() {
+        let cfg = cfg();
+        let traces: Vec<CompactTrace> =
+            (0..2).map(|i| make_trace(i + 3, 20_000, 2_000_000)).collect();
+        let refs: Vec<&CompactTrace> = traces.iter().collect();
+
+        let run = |tel: Option<TelemetryHandle>| {
+            let mems: Vec<CoreSide> = (0..2).map(|_| CoreSide::new(&cfg)).collect();
+            let mut eng =
+                MulticoreEngine::new(mems, SharedBackend::new(&cfg), Window::new(2000, 18_000));
+            if let Some(t) = tel {
+                eng.attach_telemetry(t);
+            }
+            eng.run(&refs, 4, 224)
+        };
+
+        let plain = run(None);
+        let tcfg = simtel::TelemetryConfig { interval_instructions: 2000, ..Default::default() };
+        let tel = TelemetryHandle::collector(&tcfg);
+        let traced = run(Some(tel.clone()));
+        assert_eq!(plain, traced, "telemetry must not perturb the simulation");
+
+        let out = tel.take_output().unwrap();
+        for core in 0..2u32 {
+            let ivs: Vec<_> = out.intervals.iter().filter(|iv| iv.core == core).collect();
+            assert!(ivs.len() >= 2, "core {core}: {} intervals", ivs.len());
+            for (i, iv) in ivs.iter().enumerate() {
+                assert_eq!(iv.index, i as u64);
+                assert!(iv.end_cycle > iv.start_cycle);
+                if i > 0 {
+                    assert_eq!(iv.start_cycle, ivs[i - 1].end_cycle);
+                }
+            }
+            let instrs: u64 = ivs.iter().map(|iv| iv.instructions).sum();
+            assert_eq!(instrs, traced[core as usize].instructions);
+            let l1d: u64 = ivs.iter().map(|iv| iv.l1d.accesses).sum();
+            assert_eq!(l1d, traced[core as usize].stats.l1d.accesses);
+        }
+        // Shared-backend events carry the SHARED_CORE stamp.
+        assert!(out.events.iter().all(|ev| ev.core < 2 || ev.core == simtel::SHARED_CORE));
     }
 
     #[test]

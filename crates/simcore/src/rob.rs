@@ -7,6 +7,7 @@
 //! ROB fills behind a long-latency miss — the mechanism that makes DRAM
 //! latency dominate graph-processing IPC (the paper's Finding 1/2 regime).
 
+use simtel::{StallBuckets, StallTag};
 use std::collections::VecDeque;
 
 /// The core timing model.
@@ -14,8 +15,10 @@ use std::collections::VecDeque;
 pub struct RobModel {
     capacity: usize,
     width: usize,
-    /// Completion cycles of in-flight instructions, in program order.
-    rob: VecDeque<u64>,
+    /// Completion cycle and stall tag of each in-flight instruction, in
+    /// program order. The tag names what the instruction was waiting on,
+    /// so a dispatch stall behind it can be attributed to a cause.
+    rob: VecDeque<(u64, StallTag)>,
     /// Cycle at which the next dispatch slot opens.
     cycle: u64,
     dispatched_this_cycle: usize,
@@ -23,6 +26,9 @@ pub struct RobModel {
     retired_in_cycle: usize,
     /// Total retired instructions.
     pub retired: u64,
+    /// Cumulative dispatch-stall attribution (telemetry; maintained
+    /// whether or not a sink is attached — it is a handful of adds).
+    pub stalls: StallBuckets,
 }
 
 impl RobModel {
@@ -37,13 +43,15 @@ impl RobModel {
             last_retire_cycle: 0,
             retired_in_cycle: 0,
             retired: 0,
+            stalls: StallBuckets::default(),
         }
     }
 
     /// Retire the oldest instruction, honoring in-order retirement and the
-    /// retire-width limit; returns the cycle it left the ROB.
-    fn retire_head(&mut self) -> u64 {
-        let completion = self
+    /// retire-width limit; returns the cycle it left the ROB and what it
+    /// was waiting on.
+    fn retire_head(&mut self) -> (u64, StallTag) {
+        let (completion, tag) = self
             .rob
             .pop_front()
             // simlint::allow(unwrap): invariant — both callers check !rob.is_empty() first
@@ -59,7 +67,7 @@ impl RobModel {
             self.retired_in_cycle = 1;
         }
         self.retired += 1;
-        self.last_retire_cycle
+        (self.last_retire_cycle, tag)
     }
 
     /// Claim a dispatch slot for the next instruction in program order and
@@ -70,10 +78,12 @@ impl RobModel {
             self.cycle += 1;
             self.dispatched_this_cycle = 0;
         }
-        // A full ROB stalls dispatch until the head retires.
+        // A full ROB stalls dispatch until the head retires; the wait is
+        // charged to whatever the head was blocked on.
         while self.rob.len() >= self.capacity {
-            let freed_at = self.retire_head();
+            let (freed_at, tag) = self.retire_head();
             if freed_at > self.cycle {
+                self.stalls.charge(tag, freed_at - self.cycle);
                 self.cycle = freed_at;
                 self.dispatched_this_cycle = 0;
             }
@@ -84,14 +94,20 @@ impl RobModel {
 
     /// Record that the instruction dispatched last completes at `completion`.
     pub fn complete_at(&mut self, completion: u64) {
+        self.complete_tagged(completion, StallTag::Core);
+    }
+
+    /// [`RobModel::complete_at`] with an explicit stall tag naming what
+    /// the instruction waits on (memory level, MSHR pressure).
+    pub fn complete_tagged(&mut self, completion: u64, tag: StallTag) {
         debug_assert!(completion > self.cycle);
-        self.rob.push_back(completion.max(self.cycle + 1));
+        self.rob.push_back((completion.max(self.cycle + 1), tag));
     }
 
     /// Dispatch one single-cycle (non-memory) instruction.
     pub fn bubble(&mut self) {
         let d = self.dispatch_slot();
-        self.rob.push_back(d + 1);
+        self.rob.push_back((d + 1, StallTag::Core));
     }
 
     /// Dispatch `n` single-cycle instructions.
@@ -192,6 +208,33 @@ mod tests {
         }
         let end = rob.drain();
         assert!(end >= 450, "expected heavy serialization, end = {end}");
+    }
+
+    #[test]
+    fn dispatch_stalls_are_attributed_to_the_blocking_head() {
+        let mut rob = RobModel::new(4, 2);
+        let d = rob.dispatch_slot();
+        rob.complete_tagged(d + 100, StallTag::Dram);
+        let d2 = rob.dispatch_slot();
+        rob.complete_tagged(d2 + 1, StallTag::Core);
+        // The 2-entry ROB is full; the next dispatch waits on the DRAM head.
+        let d3 = rob.dispatch_slot();
+        rob.complete_at(d3 + 1);
+        assert!(d3 >= 100, "dispatch resumed at {d3}");
+        assert_eq!(rob.stalls.dram_wait, 100);
+        assert_eq!(rob.stalls.mshr_full, 0);
+        assert_eq!(rob.stalls.rob_full, 0);
+    }
+
+    #[test]
+    fn mshr_tagged_head_charges_mshr_bucket() {
+        let mut rob = RobModel::new(1, 1);
+        let d = rob.dispatch_slot();
+        rob.complete_tagged(d + 50, StallTag::MshrFull);
+        let d2 = rob.dispatch_slot();
+        rob.complete_at(d2 + 1);
+        assert!(rob.stalls.mshr_full >= 49, "stalls: {:?}", rob.stalls);
+        assert_eq!(rob.stalls.dram_wait, 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | `narrowing-cast`| D3: no narrowing `as` on cycle/counter expressions in simcore |
 //! | `unwrap`        | D4: no `unwrap()`/`expect()` in library code outside tests    |
 //! | `forbid-unsafe` | D5: crate roots must carry `#![forbid(unsafe_code)]`          |
+//! | `no-println`    | D6: no `println!`/`eprintln!` in simulator library crates     |
 //! | `waiver-syntax` | a malformed waiver is itself a violation                      |
 //!
 //! A waiver is a line comment `// simlint::allow(<rule>): <reason>` with a
@@ -21,8 +22,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// All rule names, for waiver validation and `--help` output.
-pub const RULES: [&str; 5] =
-    ["unordered-map", "wall-clock", "narrowing-cast", "unwrap", "forbid-unsafe"];
+pub const RULES: [&str; 6] =
+    ["unordered-map", "wall-clock", "narrowing-cast", "unwrap", "forbid-unsafe", "no-println"];
 
 /// One violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,11 +85,17 @@ impl FileCtx {
             // workloads manifest recorder; the simulation stack is
             // cycle-accurate and must never read host clocks.
             "wall-clock" => {
-                matches!(self.crate_name.as_str(), "simcore" | "core" | "kernels" | "graph")
+                matches!(
+                    self.crate_name.as_str(),
+                    "simcore" | "core" | "kernels" | "graph" | "simtel"
+                )
             }
             "narrowing-cast" => self.crate_name == "simcore",
             "unwrap" => self.crate_name != "bench",
             "forbid-unsafe" => self.is_crate_root,
+            // Simulator libraries report through stats and telemetry sinks;
+            // stray prints interleave with harness output and desync logs.
+            "no-println" => matches!(self.crate_name.as_str(), "simcore" | "core" | "simtel"),
             _ => false,
         }
     }
@@ -248,6 +255,7 @@ fn run_rules(ctx: &FileCtx, lexed: &Lexed) -> Vec<Finding> {
     let d2 = ctx.rule_applies("wall-clock");
     let d3 = ctx.rule_applies("narrowing-cast");
     let d4 = ctx.rule_applies("unwrap");
+    let d6 = ctx.rule_applies("no-println");
 
     for (i, t) in tokens.iter().enumerate() {
         if t.kind != TokKind::Ident || in_test[i] {
@@ -310,6 +318,19 @@ fn run_rules(ctx: &FileCtx, lexed: &Lexed) -> Vec<Finding> {
                         ),
                     );
                 }
+            }
+            // Macro position only: `println !` — a local `fn println()` (or a
+            // struct field of that name) is odd but not a violation.
+            "println" | "eprintln" | "print" | "eprint" if d6 && next_is(1, "!") => {
+                push(
+                    t.line,
+                    "no-println",
+                    format!(
+                        "{}! in a simulator library crate bypasses stats and telemetry \
+                         sinks; route output through the harness or a TelemetrySink",
+                        t.text
+                    ),
+                );
             }
             // Method position only: `.unwrap(` / `.expect(`, not a locally
             // defined `fn expect(...)`.
@@ -511,6 +532,47 @@ mod tests {
     fn d5_waiver_works() {
         let src = "// simlint::allow(forbid-unsafe): FFI crate, audited in review\nfn main() {}\n";
         assert!(lint_as("crates/bench/src/bin/fig2.rs", src).is_empty());
+    }
+
+    // ---- D6 ----
+
+    #[test]
+    fn d6_flags_println_family_in_sim_library_crates() {
+        let src = "fn f() { println!(\"x\"); }\nfn g() { eprintln!(\"y\"); }\n";
+        assert_eq!(rules_of(&lint_as(SIM_FILE, src)), ["no-println", "no-println"]);
+        let short = "fn f() { print!(\"x\"); eprint!(\"y\"); }\n";
+        assert_eq!(rules_of(&lint_as(SIM_FILE, short)), ["no-println", "no-println"]);
+        // core and simtel are in scope too.
+        assert_eq!(
+            rules_of(&lint_as("crates/core/src/lp.rs", "fn f() { println!(\"x\"); }\n")),
+            ["no-println"]
+        );
+        assert_eq!(
+            rules_of(&lint_as("crates/simtel/src/export.rs", "fn f() { println!(\"x\"); }\n")),
+            ["no-println"]
+        );
+    }
+
+    #[test]
+    fn d6_skips_harness_crates_tests_and_non_macro_idents() {
+        // bench and workloads legitimately print (tables, progress lines).
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); }\n";
+        assert!(lint_as("crates/bench/src/table.rs", src).is_empty());
+        assert!(lint_as("crates/workloads/src/runner.rs", src)
+            .iter()
+            .all(|f| f.rule != "no-println"));
+        // Test code may print freely.
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { println!(\"dbg\"); } }\n";
+        assert!(lint_as(SIM_FILE, test_src).is_empty());
+        // An ident that is not a macro invocation is not a violation.
+        assert!(lint_as(SIM_FILE, "fn println() {}\nfn f() { println(); }\n").is_empty());
+    }
+
+    #[test]
+    fn d6_waiver_works() {
+        let src = "fn f() { eprintln!(\"fatal\"); } \
+                   // simlint::allow(no-println): one-shot fatal diagnostic before abort\n";
+        assert!(lint_as(SIM_FILE, src).is_empty());
     }
 
     // ---- waiver hygiene ----

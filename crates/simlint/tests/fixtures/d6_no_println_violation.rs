@@ -1,0 +1,5 @@
+// Fixture: D6 violation — a simulator library crate printing directly.
+pub fn dump_progress(cycle: u64) {
+    println!("cycle {cycle}");
+    eprintln!("warn: cycle {cycle}");
+}

@@ -1,0 +1,5 @@
+// Fixture: D6 waived — a one-shot diagnostic on the abort path.
+pub fn die(msg: &str) {
+    // simlint::allow(no-println): fatal diagnostic emitted once before abort
+    eprintln!("fatal: {msg}");
+}

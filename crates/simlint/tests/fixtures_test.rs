@@ -72,6 +72,18 @@ fn d5_fixture_trips_and_waiver_clears() {
 }
 
 #[test]
+fn d6_fixture_trips_and_waiver_clears() {
+    let f = lint_fixture("d6_no_println_violation.rs", "crates/simcore/src/fx.rs");
+    assert_eq!(f.len(), 2, "println and eprintln both flagged: {f:?}");
+    assert!(f.iter().all(|f| f.rule == "no-println"));
+    let w = lint_fixture("d6_no_println_waived.rs", "crates/simcore/src/fx.rs");
+    assert!(w.is_empty(), "waived fixture must be clean: {w:?}");
+    // The harness crates print legitimately (tables, progress, errors).
+    let wl = lint_fixture("d6_no_println_violation.rs", "crates/workloads/src/fx.rs");
+    assert!(wl.iter().all(|f| f.rule != "no-println"), "{wl:?}");
+}
+
+#[test]
 fn findings_render_as_file_line_rule_message() {
     let f = lint_fixture("d3_narrowing_cast_violation.rs", "crates/simcore/src/fx.rs");
     let line = f[0].to_string();

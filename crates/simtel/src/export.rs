@@ -1,0 +1,238 @@
+//! Exporters: JSONL interval records and Chrome trace-event JSON.
+//!
+//! Both emitters are hand-written (the vendored `serde` stand-in only
+//! handles flat derive output) and fully deterministic: fields appear in
+//! a fixed order, floats are printed with a fixed precision, and every
+//! timestamp is a simulated cycle. The Chrome trace loads directly in
+//! Perfetto / `chrome://tracing` — simulated cycles are mapped onto the
+//! microsecond `ts` axis.
+
+use crate::{TelemetryInterval, TelemetryOutput, SHARED_CORE};
+use std::fmt::Write as _;
+
+/// Fixed-precision float rendering: valid JSON, byte-stable across runs.
+fn f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.000000".to_string()
+    }
+}
+
+/// One flat JSON object per interval, one interval per line. Flat keys
+/// keep the lines parseable by the workspace's minimal JSON parser
+/// (`gpworkloads::manifest`).
+pub fn intervals_jsonl(intervals: &[TelemetryInterval]) -> String {
+    let mut out = String::new();
+    for iv in intervals {
+        let _ = write!(
+            out,
+            concat!(
+                "{{\"index\":{},\"core\":{},\"start_cycle\":{},\"end_cycle\":{},",
+                "\"instructions\":{},\"ipc\":{},",
+                "\"l1d_accesses\":{},\"l1d_hits\":{},\"l1d_misses\":{},\"l1d_mpki\":{},",
+                "\"sdc_accesses\":{},\"sdc_hits\":{},\"sdc_misses\":{},\"sdc_mpki\":{},",
+                "\"l2c_accesses\":{},\"l2c_hits\":{},\"l2c_misses\":{},\"l2c_mpki\":{},",
+                "\"llc_accesses\":{},\"llc_hits\":{},\"llc_misses\":{},\"llc_mpki\":{},",
+                "\"dram_reads\":{},\"dram_writes\":{},\"dram_row_hits\":{},",
+                "\"dram_row_misses\":{},\"dram_row_conflicts\":{},\"dram_row_hit_rate\":{},",
+                "\"mshr_high_water\":{},",
+                "\"lp_lookups\":{},\"lp_sdc_routes\":{},\"lp_hierarchy_routes\":{},",
+                "\"sdc_bypasses\":{},",
+                "\"stall_rob_full\":{},\"stall_mshr_full\":{},\"stall_dram_wait\":{},",
+                "\"stall_busy\":{}}}\n",
+            ),
+            iv.index,
+            iv.core,
+            iv.start_cycle,
+            iv.end_cycle,
+            iv.instructions,
+            f(iv.ipc()),
+            iv.l1d.accesses,
+            iv.l1d.hits,
+            iv.l1d.misses,
+            f(iv.l1d.mpki(iv.instructions)),
+            iv.sdc.accesses,
+            iv.sdc.hits,
+            iv.sdc.misses,
+            f(iv.sdc.mpki(iv.instructions)),
+            iv.l2c.accesses,
+            iv.l2c.hits,
+            iv.l2c.misses,
+            f(iv.l2c.mpki(iv.instructions)),
+            iv.llc.accesses,
+            iv.llc.hits,
+            iv.llc.misses,
+            f(iv.llc.mpki(iv.instructions)),
+            iv.dram.reads,
+            iv.dram.writes,
+            iv.dram.row_hits,
+            iv.dram.row_misses,
+            iv.dram.row_conflicts,
+            f(iv.dram.row_hit_rate()),
+            iv.mshr_high_water,
+            iv.lp.lookups,
+            iv.lp.sdc_routes,
+            iv.lp.hierarchy_routes,
+            iv.sdc_bypasses,
+            iv.stalls.rob_full,
+            iv.stalls.mshr_full,
+            iv.stalls.dram_wait,
+            iv.stalls.busy,
+        );
+    }
+    out
+}
+
+/// Render the `tid` for a core id (shared components get their own lane).
+fn tid(core: u32) -> u64 {
+    if core == SHARED_CORE {
+        9999
+    } else {
+        u64::from(core)
+    }
+}
+
+/// Chrome trace-event JSON (the "JSON Array Format" with a top-level
+/// object), loadable in Perfetto. Per interval: an `X` (complete) event
+/// spanning the interval plus `C` (counter) tracks for IPC, L1D MPKI,
+/// and the stall mix; per traced event: an `i` (instant) mark.
+/// Timestamps are simulated cycles on the `ts` axis.
+pub fn chrome_trace(output: &TelemetryOutput) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for iv in &output.intervals {
+        let t = tid(iv.core);
+        events.push(format!(
+            "{{\"name\":\"interval {}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\
+             \"args\":{{\"instructions\":{},\"ipc\":{},\"l1d_mpki\":{}}}}}",
+            iv.index,
+            iv.start_cycle,
+            iv.cycles(),
+            t,
+            iv.instructions,
+            f(iv.ipc()),
+            f(iv.l1d.mpki(iv.instructions)),
+        ));
+        events.push(format!(
+            "{{\"name\":\"ipc\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":{},\
+             \"args\":{{\"ipc\":{}}}}}",
+            iv.start_cycle,
+            t,
+            f(iv.ipc()),
+        ));
+        events.push(format!(
+            "{{\"name\":\"mpki\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":{},\
+             \"args\":{{\"l1d\":{},\"l2c\":{},\"llc\":{}}}}}",
+            iv.start_cycle,
+            t,
+            f(iv.l1d.mpki(iv.instructions)),
+            f(iv.l2c.mpki(iv.instructions)),
+            f(iv.llc.mpki(iv.instructions)),
+        ));
+        events.push(format!(
+            "{{\"name\":\"stalls\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":{},\
+             \"args\":{{\"rob_full\":{},\"mshr_full\":{},\"dram_wait\":{},\"busy\":{}}}}}",
+            iv.start_cycle,
+            t,
+            iv.stalls.rob_full,
+            iv.stalls.mshr_full,
+            iv.stalls.dram_wait,
+            iv.stalls.busy,
+        ));
+    }
+    for ev in &output.events {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\",\
+             \"args\":{{\"severity\":\"{}\"}}}}",
+            ev.kind.name(),
+            ev.cycle,
+            tid(ev.core),
+            ev.severity().name(),
+        ));
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ns\",\
+         \"otherData\":{{\"clock\":\"simulated-cycles\",\"dropped_events\":{},\
+         \"filtered_events\":{}}}}}",
+        events.join(","),
+        output.dropped_events,
+        output.filtered_events,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, LevelDelta, TelemetryEvent};
+
+    fn sample() -> TelemetryOutput {
+        TelemetryOutput {
+            intervals: vec![
+                TelemetryInterval {
+                    index: 0,
+                    start_cycle: 0,
+                    end_cycle: 100,
+                    instructions: 50,
+                    l1d: LevelDelta { accesses: 20, hits: 15, misses: 5 },
+                    ..Default::default()
+                },
+                TelemetryInterval {
+                    index: 1,
+                    start_cycle: 100,
+                    end_cycle: 250,
+                    instructions: 60,
+                    ..Default::default()
+                },
+            ],
+            events: vec![
+                TelemetryEvent { cycle: 42, core: 0, kind: EventKind::DramRowConflict },
+                TelemetryEvent { cycle: 99, core: SHARED_CORE, kind: EventKind::WatchdogTick },
+            ],
+            dropped_events: 3,
+            filtered_events: 1,
+        }
+    }
+
+    #[test]
+    fn jsonl_emits_one_line_per_interval() {
+        let s = intervals_jsonl(&sample().intervals);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "not an object: {line}");
+        }
+        assert!(lines[0].contains("\"l1d_misses\":5"));
+        assert!(lines[0].contains("\"ipc\":0.500000"));
+        assert!(lines[0].contains("\"l1d_mpki\":100.000000"));
+        assert!(lines[1].contains("\"start_cycle\":100"));
+    }
+
+    #[test]
+    fn jsonl_is_deterministic() {
+        let s = sample();
+        assert_eq!(intervals_jsonl(&s.intervals), intervals_jsonl(&s.intervals));
+    }
+
+    #[test]
+    fn chrome_trace_has_balanced_structure_and_events() {
+        let s = chrome_trace(&sample());
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"ph\":\"C\""));
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"name\":\"dram_row_conflict\""));
+        assert!(s.contains("\"tid\":9999"), "shared components get their own lane");
+        assert!(s.contains("\"dropped_events\":3"));
+        // Structural sanity: braces and brackets balance.
+        let open = s.matches('{').count();
+        let close = s.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_output_is_valid() {
+        let s = chrome_trace(&TelemetryOutput::default());
+        assert!(s.contains("\"traceEvents\":[]"));
+    }
+}

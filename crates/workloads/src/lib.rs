@@ -15,6 +15,7 @@ pub mod runner;
 pub mod singlecore;
 
 pub use configs::{build_multicore, build_system, SystemKind};
+pub use manifest::validate_json;
 pub use matrix::{
     cross, MatrixOptions, MatrixPoint, PointStatus, RunManifest, RunRecord, SystemSpec, Watchdog,
 };

@@ -165,6 +165,22 @@ pub(crate) fn parse_json_object(line: &str) -> Result<BTreeMap<String, String>, 
     }
 }
 
+/// Validate that `src` is one well-formed JSON value — objects, arrays,
+/// strings, and scalar tokens, arbitrarily nested — with nothing but
+/// whitespace after it. The manifest reader itself only consumes flat
+/// objects; telemetry exports (Chrome trace-event JSON for Perfetto) are
+/// nested, and CI uses this to prove they parse without external crates.
+pub fn validate_json(src: &str) -> Result<(), String> {
+    let mut p = Parser { bytes: src.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.validate_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(())
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -261,6 +277,79 @@ impl Parser<'_> {
             .map(str::to_string)
             .map_err(|_| "invalid UTF-8 in value".into())
     }
+
+    /// Recursively validate one JSON value of any shape (see
+    /// [`validate_json`]). Values are checked, not materialized.
+    fn validate_value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'"') => self.parse_string().map(drop),
+            Some(b'{') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.parse_string()?;
+                    self.skip_ws();
+                    self.consume(b':')?;
+                    self.skip_ws();
+                    self.validate_value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("expected ',' or '}}', found {other:?}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.validate_value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("expected ',' or ']', found {other:?}")),
+                    }
+                }
+            }
+            Some(_) => {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if matches!(b, b',' | b'}' | b']' | b' ' | b'\t' | b'\r' | b'\n') {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let token = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in value")?;
+                let scalar =
+                    matches!(token, "true" | "false" | "null") || token.parse::<f64>().is_ok();
+                if scalar {
+                    Ok(())
+                } else {
+                    Err(format!("invalid scalar token {token:?} at byte {start}"))
+                }
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
 }
 
 /// Schema-layer accessors over a parsed field map.
@@ -319,6 +408,24 @@ mod tests {
         assert!(parse_json_object("{\"a\" 1}").is_err());
         assert!(parse_json_object("{\"a\":\"unterminated}").is_err());
         assert!(parse_json_object("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn validate_json_accepts_nested_documents() {
+        validate_json(r#"{"traceEvents":[{"name":"ipc","ph":"C","ts":100,"args":{"v":1.25}},{"name":"miss","ph":"i","ts":200}],"displayTimeUnit":"ns"}"#).unwrap();
+        validate_json("[]").unwrap();
+        validate_json("  {\"a\": [1, 2, {\"b\": null}], \"c\": true }\n").unwrap();
+        validate_json("-1.5e3").unwrap();
+    }
+
+    #[test]
+    fn validate_json_rejects_malformed_documents() {
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{\"a\":[1,}").is_err());
+        assert!(validate_json("[1 2]").is_err());
+        assert!(validate_json("{\"a\":1} trailing").is_err());
+        assert!(validate_json("{a:1}").is_err());
+        assert!(validate_json("bogus").is_err());
     }
 
     #[test]

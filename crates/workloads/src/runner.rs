@@ -155,6 +155,36 @@ impl Runner {
         engine.finish()
     }
 
+    /// Run one workload on one system with telemetry collection enabled.
+    ///
+    /// Returns the usual [`SimResult`] plus the collected telemetry output
+    /// (interval snapshots + event trace). The result is bit-identical to
+    /// [`Runner::run_one`] on the same inputs — telemetry only observes.
+    pub fn run_one_with_telemetry(
+        &self,
+        w: Workload,
+        kind: SystemKind,
+        cfg: &simtel::TelemetryConfig,
+    ) -> (SimResult, simtel::TelemetryOutput) {
+        self.run_custom_with_telemetry(w, build_system(kind, w.kernel, &self.sdclp), cfg)
+    }
+
+    /// Telemetry-enabled variant of [`Runner::run_custom`].
+    pub fn run_custom_with_telemetry(
+        &self,
+        w: Workload,
+        sys: Box<dyn MemorySystem + Send>,
+        cfg: &simtel::TelemetryConfig,
+    ) -> (SimResult, simtel::TelemetryOutput) {
+        let trace = self.trace(w);
+        let mut engine = self.engine_for(sys);
+        let tel = simtel::TelemetryHandle::collector(cfg);
+        engine.attach_telemetry(tel.clone());
+        engine.replay(&trace);
+        let result = engine.finish();
+        (result, tel.take_output().unwrap_or_default())
+    }
+
     /// Run one workload on several designs (trace recorded once).
     pub fn run_systems(&self, w: Workload, kinds: &[SystemKind]) -> Vec<SimResult> {
         let _ = self.trace(w); // materialize once before fan-out
@@ -269,6 +299,19 @@ mod tests {
         let a = r.run_one(w, SystemKind::SdcLp);
         let b = r.run_one(w, SystemKind::SdcLp);
         assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn telemetry_run_matches_plain_run_and_yields_intervals() {
+        let r = tiny_runner();
+        let w = Workload::new(Kernel::Bfs, GraphInput::Kron);
+        let plain = r.run_one(w, SystemKind::SdcLp);
+        let cfg = simtel::TelemetryConfig { interval_instructions: 10_000, ..Default::default() };
+        let (traced, out) = r.run_one_with_telemetry(w, SystemKind::SdcLp, &cfg);
+        assert_eq!(plain, traced, "telemetry must not perturb results");
+        assert!(!out.intervals.is_empty());
+        let sum: u64 = out.intervals.iter().map(|iv| iv.instructions).sum();
+        assert_eq!(sum, traced.instructions, "interval sums must reconcile");
     }
 
     #[test]
