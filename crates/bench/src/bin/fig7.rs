@@ -7,9 +7,62 @@
 //! +0.1%, T-OPT +9.4%, 2xLLC +11.2%, SDC+LP +20.3%.
 
 use gpbench::{finish_sweeps, pct, run_or_exit, HarnessOpts, TextTable};
-use gpworkloads::{cross, RunRecord, SystemKind};
+use gpworkloads::{cross, RunRecord, Runner, SystemKind};
 use simcore::geomean;
 use std::process::ExitCode;
+
+/// How many sweep workloads the stall-share profile pass re-runs (each
+/// against every system). Small and deterministic: the shares come from
+/// the simulation alone, so a fixed prefix of the suite is a stable
+/// fingerprint of stall attribution.
+const PROFILE_WORKLOADS: usize = 3;
+
+/// Deterministic stall-bucket share fingerprint for the bench-gate:
+/// aggregate dispatch-stall attribution over a fixed subset of the sweep,
+/// expressed as shares of total cycles. Simulated state only — no
+/// wall-clock — so any drift beyond float formatting is a behavior change.
+struct StallShares {
+    rob_full: f64,
+    mshr_full: f64,
+    dram_wait: f64,
+    busy: f64,
+    points: usize,
+}
+
+fn profile_stall_shares(opts: &HarnessOpts, runner: &Runner, kinds: &[SystemKind]) -> StallShares {
+    let cfg = simtel::TelemetryConfig {
+        interval_instructions: 1_000_000,
+        event_capacity: 0,
+        ..Default::default()
+    };
+    let mut rob_full = 0u64;
+    let mut mshr_full = 0u64;
+    let mut dram_wait = 0u64;
+    let mut busy = 0u64;
+    let mut points = 0usize;
+    for w in opts.workloads().into_iter().take(PROFILE_WORKLOADS) {
+        for &k in kinds {
+            let (_result, out) = runner.run_one_with_telemetry(w, k, &cfg);
+            for iv in &out.intervals {
+                rob_full += iv.stalls.rob_full;
+                mshr_full += iv.stalls.mshr_full;
+                dram_wait += iv.stalls.dram_wait;
+                busy += iv.stalls.busy;
+            }
+            points += 1;
+        }
+        runner.evict_trace(w);
+        runner.evict_graph(w.graph);
+    }
+    let total = (rob_full + mshr_full + dram_wait + busy).max(1) as f64;
+    StallShares {
+        rob_full: rob_full as f64 / total,
+        mshr_full: mshr_full as f64 / total,
+        dram_wait: dram_wait as f64 / total,
+        busy: busy as f64 / total,
+        points,
+    }
+}
 
 /// Write the sweep's wall-clock throughput summary (the repo's pinned
 /// simulator benchmark: `fig7 --scale small --bench-out BENCH_sim.json`).
@@ -20,6 +73,7 @@ fn write_bench_summary(
     opts: &HarnessOpts,
     records: &[RunRecord],
     wall_seconds: f64,
+    stalls: &StallShares,
 ) -> std::io::Result<()> {
     let ok = records.iter().filter(|r| r.is_ok()).count();
     let simulated: u64 = records
@@ -32,7 +86,10 @@ fn write_bench_summary(
         "{{\n  \"bench\": \"fig7\",\n  \"scale\": \"{}\",\n  \"warmup_instructions\": {},\n  \
          \"measure_instructions\": {},\n  \"points\": {},\n  \"points_ok\": {},\n  \
          \"wall_seconds\": {:.3},\n  \"simulated_instructions\": {},\n  \
-         \"simulated_instr_per_sec\": {:.0},\n  \"threads\": {}\n}}\n",
+         \"simulated_instr_per_sec\": {:.0},\n  \"threads\": {},\n  \
+         \"stall_profile_points\": {},\n  \"stall_share_rob_full\": {:.6},\n  \
+         \"stall_share_mshr_full\": {:.6},\n  \"stall_share_dram_wait\": {:.6},\n  \
+         \"stall_share_busy\": {:.6}\n}}\n",
         format!("{:?}", opts.scale).to_lowercase(),
         opts.window.warmup,
         opts.window.measure,
@@ -42,6 +99,11 @@ fn write_bench_summary(
         simulated,
         rate,
         rayon::current_num_threads(),
+        stalls.points,
+        stalls.rob_full,
+        stalls.mshr_full,
+        stalls.dram_wait,
+        stalls.busy,
     );
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
         std::fs::create_dir_all(dir)?;
@@ -71,7 +133,11 @@ fn main() -> ExitCode {
         run_or_exit(runner.run_matrix_with(&points, &opts.matrix_options("fig7")), "fig7");
     let wall = sweep_start.elapsed().as_secs_f64();
     if let Some(path) = &opts.bench_out {
-        if let Err(e) = write_bench_summary(path, &opts, &records, wall) {
+        // Stall-share profile pass AFTER the wall clock stops: it re-runs a
+        // fixed sweep subset with telemetry attached, which must never
+        // count against the throughput number the gate checks.
+        let stalls = profile_stall_shares(&opts, &runner, &all_kinds);
+        if let Err(e) = write_bench_summary(path, &opts, &records, wall, &stalls) {
             eprintln!("error: writing {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

@@ -75,6 +75,12 @@ impl SimError {
     }
 }
 
+impl From<simcore::config::ConfigError> for SimError {
+    fn from(e: simcore::config::ConfigError) -> Self {
+        SimError::InvalidConfig { detail: e.to_string() }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -128,6 +134,19 @@ mod tests {
 
         let e = SimError::manifest_io("/tmp/x.jsonl", "disk full");
         assert!(e.to_string().contains("x.jsonl") && e.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn config_errors_fold_into_invalid_config() {
+        let mut cfg = simcore::SystemConfig::baseline(1);
+        cfg.llc.sets = 100;
+        let e = SimError::from(cfg.validate().unwrap_err());
+        match &e {
+            SimError::InvalidConfig { detail } => {
+                assert!(detail.contains("llc") && detail.contains("power of two"), "{detail}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

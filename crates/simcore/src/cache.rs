@@ -5,20 +5,18 @@
 
 use crate::block::word_in_block;
 use crate::config::CacheConfig;
-use crate::replacement::{make_policy, ReplCtx, ReplacementPolicy};
+use crate::replacement::{ReplCtx, ReplState};
 use crate::stats::CacheStats;
 
-/// One cache line's bookkeeping state.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct CacheLine {
-    pub tag: u64,
-    pub valid: bool,
-    pub dirty: bool,
-    /// Line was filled by a prefetcher and not yet demanded.
-    pub prefetched: bool,
-    /// Bitmap of 8-byte words touched by demand accesses while resident.
-    pub used_words: u8,
-}
+/// Tag sentinel for an invalid (empty) way. Blocks are `addr >> BLOCK_BITS`
+/// so a real tag never reaches `u64::MAX`; using a sentinel instead of a
+/// separate `valid` bitmap keeps the hit lookup to a single array scan.
+const INVALID_TAG: u64 = u64::MAX;
+
+/// Per-line flag: line holds data newer than the level below.
+const META_DIRTY: u8 = 1 << 0;
+/// Per-line flag: line was filled by a prefetcher and not yet demanded.
+const META_PREFETCHED: u8 = 1 << 1;
 
 /// A dirty line pushed out of the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,25 +35,49 @@ pub enum LookupResult {
 }
 
 /// Set-associative cache.
+///
+/// Line state is stored struct-of-arrays: parallel flat `tags`/`meta`/`used`
+/// vectors indexed by `set * ways + way`. The hit path only ever touches
+/// `tags` (a contiguous `u64` scan the compiler unrolls/vectorises), and
+/// replacement state is enum-dispatched ([`ReplState`]) so its hooks inline
+/// instead of going through a vtable.
 pub struct Cache {
     sets: usize,
     ways: usize,
-    lines: Vec<CacheLine>,
-    policy: Box<dyn ReplacementPolicy>,
+    /// Set-index mask (`sets` is validated to be a power of two).
+    set_mask: usize,
+    /// Per-way resident block, [`INVALID_TAG`] when empty.
+    tags: Vec<u64>,
+    /// Per-way `META_*` flag bits.
+    meta: Vec<u8>,
+    /// Per-way bitmap of 8-byte words touched by demand accesses.
+    used: Vec<u8>,
+    repl: ReplState,
     pub stats: CacheStats,
     /// Lookup latency in core cycles.
     pub latency: u64,
-    /// Monotonic demand-access position (feeds T-OPT's ReplCtx).
-    pos: u32,
+    /// Monotonic access position (feeds T-OPT's ReplCtx). Advances on
+    /// every demand access *and* on every fill, so back-to-back fills
+    /// never share a replacement timestamp. 64-bit: never wraps.
+    pos: u64,
 }
 
 impl Cache {
     pub fn new(cfg: &CacheConfig) -> Self {
+        assert!(
+            cfg.sets.is_power_of_two(),
+            "cache sets must be a power of two for mask indexing (got {}); \
+             validate configs with CacheConfig::validate",
+            cfg.sets
+        );
         Cache {
             sets: cfg.sets,
             ways: cfg.ways,
-            lines: vec![CacheLine::default(); cfg.sets * cfg.ways],
-            policy: make_policy(cfg.replacement, cfg.sets, cfg.ways),
+            set_mask: cfg.sets - 1,
+            tags: vec![INVALID_TAG; cfg.sets * cfg.ways],
+            meta: vec![0; cfg.sets * cfg.ways],
+            used: vec![0; cfg.sets * cfg.ways],
+            repl: ReplState::new(cfg.replacement, cfg.sets, cfg.ways),
             stats: CacheStats::default(),
             latency: cfg.latency,
             pos: 0,
@@ -72,20 +94,21 @@ impl Cache {
 
     #[inline]
     fn set_of(&self, block: u64) -> usize {
-        (block % self.sets as u64) as usize
+        // Sets are validated to be a power of two, so the mask is exact
+        // (and avoids a hardware divide on the hot path).
+        (block as usize) & self.set_mask
     }
 
     #[inline]
     fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        // Invalid ways hold INVALID_TAG, which no real block equals, so a
+        // plain tag compare doubles as the validity check.
         let base = set * self.ways;
-        (0..self.ways).find(|&w| {
-            let l = &self.lines[base + w];
-            l.valid && l.tag == tag
-        })
+        self.tags[base..base + self.ways].iter().position(|&t| t == tag)
     }
 
-    /// Current demand-access position counter.
-    pub fn position(&self) -> u32 {
+    /// Current access-position counter.
+    pub fn position(&self) -> u64 {
         self.pos
     }
 
@@ -93,22 +116,21 @@ impl Cache {
     /// Does *not* fill on miss; the caller drives the fill path so that
     /// MSHR and lower-level timing can be modelled.
     pub fn access(&mut self, addr: u64, block: u64, is_write: bool, ctx: ReplCtx) -> LookupResult {
-        self.pos = self.pos.wrapping_add(1);
+        self.pos += 1;
         let set = self.set_of(block);
-        let tag = block;
-        match self.find(set, tag) {
+        match self.find(set, block) {
             Some(way) => {
                 self.stats.record_hit();
-                let line = &mut self.lines[set * self.ways + way];
-                if line.prefetched {
+                let idx = set * self.ways + way;
+                let m = self.meta[idx];
+                if m & META_PREFETCHED != 0 {
                     self.stats.prefetch_hits += 1;
-                    line.prefetched = false;
                 }
-                if is_write {
-                    line.dirty = true;
-                }
-                line.used_words |= 1 << word_in_block(addr);
-                self.policy.on_hit(set, way, ReplCtx { pos: self.pos, ..ctx });
+                // Clears the prefetched bit, preserves dirty, ORs in the
+                // write's dirty — branchlessly.
+                self.meta[idx] = (m & !META_PREFETCHED) | (u8::from(is_write) * META_DIRTY);
+                self.used[idx] |= 1 << word_in_block(addr);
+                self.repl.on_hit(set, way, ReplCtx { pos: self.pos, ..ctx });
                 LookupResult::Hit
             }
             None => {
@@ -132,21 +154,32 @@ impl Cache {
         if let Some(way) = self.find(set, block) {
             // Already present (e.g. race between demand fill and prefetch):
             // just merge state.
-            let line = &mut self.lines[set * self.ways + way];
-            line.dirty |= is_write;
+            let idx = set * self.ways + way;
+            self.meta[idx] |= u8::from(is_write) * META_DIRTY;
             if !prefetched {
-                line.prefetched = false;
-                line.used_words |= 1 << word_in_block(addr);
+                self.meta[idx] &= !META_PREFETCHED;
+                self.used[idx] |= 1 << word_in_block(addr);
             }
             return None;
         }
+        // Fills advance the position clock too: back-to-back fills
+        // (prefetch bursts, MSHR drains) must not share the stale demand
+        // position, or age-based policies see them as simultaneous.
+        self.pos += 1;
         let base = set * self.ways;
-        let (way, evicted) = match (0..self.ways).find(|&w| !self.lines[base + w].valid) {
+        let (way, evicted) = match self.find(set, INVALID_TAG) {
             Some(w) => (w, None),
             None => {
-                let w = self.policy.victim(set);
-                let old = self.lines[base + w];
-                (w, Some(Eviction { block: old.tag, dirty: old.dirty, used_words: old.used_words }))
+                let w = self.repl.victim(set);
+                let idx = base + w;
+                (
+                    w,
+                    Some(Eviction {
+                        block: self.tags[idx],
+                        dirty: self.meta[idx] & META_DIRTY != 0,
+                        used_words: self.used[idx],
+                    }),
+                )
             }
         };
         if prefetched {
@@ -154,14 +187,12 @@ impl Cache {
         } else {
             self.stats.fills += 1;
         }
-        self.lines[base + way] = CacheLine {
-            tag: block,
-            valid: true,
-            dirty: is_write,
-            prefetched,
-            used_words: if prefetched { 0 } else { 1 << word_in_block(addr) },
-        };
-        self.policy.on_fill(set, way, ReplCtx { pos: self.pos, ..ctx });
+        let idx = base + way;
+        self.tags[idx] = block;
+        self.meta[idx] =
+            (u8::from(is_write) * META_DIRTY) | (u8::from(prefetched) * META_PREFETCHED);
+        self.used[idx] = if prefetched { 0 } else { 1 << word_in_block(addr) };
+        self.repl.on_fill(set, way, ReplCtx { pos: self.pos, ..ctx });
         if evicted.is_some() {
             self.stats.writebacks += u64::from(evicted.is_some_and(|e| e.dirty));
         }
@@ -177,9 +208,11 @@ impl Cache {
     pub fn invalidate(&mut self, block: u64) -> Option<bool> {
         let set = self.set_of(block);
         let way = self.find(set, block)?;
-        let line = &mut self.lines[set * self.ways + way];
-        let dirty = line.dirty;
-        *line = CacheLine::default();
+        let idx = set * self.ways + way;
+        let dirty = self.meta[idx] & META_DIRTY != 0;
+        self.tags[idx] = INVALID_TAG;
+        self.meta[idx] = 0;
+        self.used[idx] = 0;
         self.stats.invalidations += 1;
         Some(dirty)
     }
@@ -188,7 +221,7 @@ impl Cache {
     pub fn mark_dirty(&mut self, block: u64) -> bool {
         let set = self.set_of(block);
         if let Some(way) = self.find(set, block) {
-            self.lines[set * self.ways + way].dirty = true;
+            self.meta[set * self.ways + way] |= META_DIRTY;
             true
         } else {
             false
@@ -197,7 +230,7 @@ impl Cache {
 
     /// Number of currently valid lines (test/debug aid).
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 }
 
@@ -329,6 +362,48 @@ mod tests {
         };
         assert_eq!(ev.block, 3);
         assert!(ev.dirty);
+    }
+
+    #[test]
+    fn fill_advances_the_position_clock() {
+        let mut c = small_cache(4, 2);
+        assert_eq!(c.position(), 0);
+        c.fill(addr_of(1), 1, false, false, ReplCtx::NONE);
+        assert_eq!(c.position(), 1);
+        // A merged (already-present) fill is not an insertion: no tick.
+        c.fill(addr_of(1), 1, false, false, ReplCtx::NONE);
+        assert_eq!(c.position(), 1);
+        c.access(addr_of(1), 1, false, ReplCtx::NONE);
+        assert_eq!(c.position(), 2);
+    }
+
+    #[test]
+    fn back_to_back_fills_age_distinctly_under_topt() {
+        // Two unhinted fills in a row used to inherit the same stale demand
+        // position, so their predicted next uses tied and the victim fell
+        // back to the LRU stamp (insertion order). Each fill now gets its
+        // own position tick: the *later* fill is predicted farther away and
+        // is the one evicted.
+        let mut c = Cache::new(&CacheConfig {
+            sets: 1,
+            ways: 2,
+            latency: 1,
+            mshr_entries: 4,
+            replacement: ReplacementKind::TOpt,
+            prefetcher: PrefetcherKind::None,
+        });
+        c.fill(addr_of(10), 10, false, false, ReplCtx::NONE);
+        c.fill(addr_of(20), 20, false, false, ReplCtx::NONE);
+        let ev = c.fill(addr_of(30), 30, false, false, ReplCtx::NONE).unwrap();
+        assert_eq!(ev.block, 20, "later back-to-back fill must be predicted farther");
+        assert!(c.probe(10));
+        assert!(!c.probe(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_set_count_is_rejected() {
+        let _ = small_cache(3, 2);
     }
 
     #[test]

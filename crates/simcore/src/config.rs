@@ -26,6 +26,24 @@ pub enum ReplacementKind {
     TOpt,
 }
 
+/// A structurally invalid configuration, caught before any simulation
+/// state is built. Typed (rather than a panic) so sweep runners can fold
+/// it into their error taxonomy instead of aborting a whole campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Which component was invalid (`l1d`, `llc`, `stlb`, ...).
+    pub component: &'static str,
+    pub detail: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.component, self.detail)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Geometry and timing of one set-associative cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheConfig {
@@ -47,6 +65,22 @@ impl CacheConfig {
     pub const fn lines(&self) -> usize {
         self.sets * self.ways
     }
+
+    /// Check structural validity: set counts must be powers of two (set
+    /// indexing is mask-based, matching the LP's requirement) and the
+    /// geometry non-degenerate.
+    pub fn validate(&self, component: &'static str) -> Result<(), ConfigError> {
+        if !self.sets.is_power_of_two() {
+            return Err(ConfigError {
+                component,
+                detail: format!("set count must be a power of two, got {}", self.sets),
+            });
+        }
+        if self.ways == 0 {
+            return Err(ConfigError { component, detail: "ways must be non-zero".into() });
+        }
+        Ok(())
+    }
 }
 
 /// TLB geometry (entries map 4 KiB pages).
@@ -60,6 +94,20 @@ pub struct TlbConfig {
 impl TlbConfig {
     pub const fn entries(&self) -> usize {
         self.sets * self.ways
+    }
+
+    /// See [`CacheConfig::validate`].
+    pub fn validate(&self, component: &'static str) -> Result<(), ConfigError> {
+        if !self.sets.is_power_of_two() {
+            return Err(ConfigError {
+                component,
+                detail: format!("set count must be a power of two, got {}", self.sets),
+            });
+        }
+        if self.ways == 0 {
+            return Err(ConfigError { component, detail: "ways must be non-zero".into() });
+        }
+        Ok(())
     }
 }
 
@@ -211,6 +259,18 @@ impl SystemConfig {
         cfg.llc.replacement = ReplacementKind::TOpt;
         cfg
     }
+
+    /// Validate every set-indexed structure in the system. Runners call
+    /// this before building simulation state so a bad config surfaces as
+    /// a typed error instead of a panic mid-sweep.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.dtlb.validate("dtlb")?;
+        self.stlb.validate("stlb")?;
+        self.l1d.validate("l1d")?;
+        self.l2c.validate("l2c")?;
+        self.llc.validate("llc")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +316,25 @@ mod tests {
         let c = cfg.to_core_cycles(24);
         assert!((35..=36).contains(&c), "got {c}");
         assert_eq!(cfg.to_core_cycles(0), 0);
+    }
+
+    #[test]
+    fn validate_accepts_table1_and_rejects_non_pow2_sets() {
+        assert!(SystemConfig::baseline(1).validate().is_ok());
+        assert!(SystemConfig::baseline(4).validate().is_ok());
+        let mut cfg = SystemConfig::baseline(1);
+        cfg.llc.sets = 3000;
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.component, "llc");
+        assert!(err.to_string().contains("power of two"), "{err}");
+
+        let mut cfg = SystemConfig::baseline(1);
+        cfg.dtlb.sets = 5;
+        assert_eq!(cfg.validate().unwrap_err().component, "dtlb");
+
+        let mut cfg = SystemConfig::baseline(1);
+        cfg.l1d.ways = 0;
+        assert_eq!(cfg.validate().unwrap_err().component, "l1d");
     }
 
     #[test]

@@ -21,12 +21,15 @@ use crate::stats::CacheStats;
 /// so distillation saves nothing).
 const DISTILL_MAX_WORDS: u32 = 4;
 
-#[derive(Debug, Clone, Copy, Default)]
-struct WocEntry {
-    block: u64,
-    word: u8,
-    valid: bool,
-    stamp: u64,
+/// Sentinel key for an empty/invalidated WOC slot. Real keys are
+/// `block << 3 | word` with block addresses far below 2^58, so the
+/// sentinel can never collide.
+const INVALID_KEY: u64 = u64::MAX;
+
+#[inline]
+fn woc_key(block: u64, word: usize) -> u64 {
+    debug_assert!(word < WORDS_PER_BLOCK);
+    (block << 3) | word as u64
 }
 
 /// Result of a Distill-cache lookup.
@@ -38,11 +41,18 @@ pub enum DistillResult {
 }
 
 /// The distilled LLC: LOC + WOC.
+///
+/// WOC entries live in two flat parallel arrays: packed `(block, word)`
+/// keys and LRU stamps. The lookup scan compares one word per entry
+/// instead of unpacking a struct, and an invalid slot is just the
+/// sentinel key with stamp 0 (which the insert scan already treats as
+/// infinitely old).
 pub struct DistillCache {
     loc: Cache,
     sets: usize,
     woc_per_set: usize,
-    woc: Vec<WocEntry>,
+    woc_keys: Vec<u64>,
+    woc_stamps: Vec<u64>,
     clock: u64,
     /// Demand hits served by the WOC.
     pub woc_hits: u64,
@@ -60,7 +70,8 @@ impl DistillCache {
             loc: Cache::new(&loc_cfg),
             sets: llc.sets,
             woc_per_set,
-            woc: vec![WocEntry::default(); llc.sets * woc_per_set],
+            woc_keys: vec![INVALID_KEY; llc.sets * woc_per_set],
+            woc_stamps: vec![0; llc.sets * woc_per_set],
             clock: 0,
             woc_hits: 0,
             latency: llc.latency,
@@ -68,18 +79,19 @@ impl DistillCache {
     }
 
     fn set_of(&self, block: u64) -> usize {
-        (block % self.sets as u64) as usize
+        // Power-of-two set counts are enforced by the inner LOC cache
+        // (same geometry), so the mask is exact.
+        (block as usize) & (self.sets - 1)
     }
 
     fn woc_lookup(&mut self, block: u64, word: usize) -> bool {
         self.clock += 1;
         let base = self.set_of(block) * self.woc_per_set;
-        for i in 0..self.woc_per_set {
-            let e = &mut self.woc[base + i];
-            if e.valid && e.block == block && usize::from(e.word) == word {
-                e.stamp = self.clock;
-                return true;
-            }
+        let key = woc_key(block, word);
+        let set = &self.woc_keys[base..base + self.woc_per_set];
+        if let Some(i) = set.iter().position(|&k| k == key) {
+            self.woc_stamps[base + i] = self.clock;
+            return true;
         }
         false
     }
@@ -87,23 +99,24 @@ impl DistillCache {
     fn woc_insert(&mut self, block: u64, word: u8) {
         self.clock += 1;
         let base = self.set_of(block) * self.woc_per_set;
+        let key = woc_key(block, usize::from(word));
         // Reuse an existing entry for the same (block, word) or take the
-        // LRU slot.
+        // LRU slot (invalid slots carry stamp 0: infinitely old).
         let mut victim = 0;
         let mut oldest = u64::MAX;
         for i in 0..self.woc_per_set {
-            let e = &self.woc[base + i];
-            if e.valid && e.block == block && e.word == word {
+            if self.woc_keys[base + i] == key {
                 victim = i;
                 break;
             }
-            let key = if e.valid { e.stamp } else { 0 };
-            if key < oldest {
-                oldest = key;
+            let stamp = self.woc_stamps[base + i];
+            if stamp < oldest {
+                oldest = stamp;
                 victim = i;
             }
         }
-        self.woc[base + victim] = WocEntry { block, word, valid: true, stamp: self.clock };
+        self.woc_keys[base + victim] = key;
+        self.woc_stamps[base + victim] = self.clock;
     }
 
     /// Distill the used words of an evicted line into the WOC.
@@ -160,9 +173,11 @@ impl DistillCache {
     pub fn invalidate(&mut self, block: u64) -> Option<bool> {
         let base = self.set_of(block) * self.woc_per_set;
         for i in 0..self.woc_per_set {
-            let e = &mut self.woc[base + i];
-            if e.valid && e.block == block {
-                e.valid = false;
+            if self.woc_keys[base + i] >> 3 == block {
+                self.woc_keys[base + i] = INVALID_KEY;
+                // Stamp 0 restores the "infinitely old" ordering the
+                // insert scan expects from an empty slot.
+                self.woc_stamps[base + i] = 0;
             }
         }
         self.loc.invalidate(block)
@@ -180,7 +195,7 @@ impl DistillCache {
         &mut self.loc.stats
     }
 
-    pub fn position(&self) -> u32 {
+    pub fn position(&self) -> u64 {
         self.loc.position()
     }
 }

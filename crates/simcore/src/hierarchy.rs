@@ -10,7 +10,7 @@ use crate::config::SystemConfig;
 use crate::distill::{DistillCache, DistillResult};
 use crate::dram::Dram;
 use crate::mshr::{MshrFile, MshrOutcome};
-use crate::prefetch::{make_prefetcher, Prefetcher};
+use crate::prefetch::PrefetchState;
 use crate::replacement::ReplCtx;
 use crate::stats::HierStats;
 use crate::tlb::TlbHierarchy;
@@ -246,7 +246,7 @@ impl SharedBackend {
     /// the issuing core's T-OPT position (in hinted-access units, the same
     /// clock `MemRef::next_use` hints are expressed in).
     /// Returns (completion cycle, who served it, MSHR-stalled flag).
-    pub fn access(&mut self, r: &MemRef, t_llc: u64, oracle_pos: u32) -> (u64, ServedBy, bool) {
+    pub fn access(&mut self, r: &MemRef, t_llc: u64, oracle_pos: u64) -> (u64, ServedBy, bool) {
         let block = block_of(r.addr);
         let ctx = ReplCtx { next_use: r.next_use, pos: oracle_pos, sid: r.sid };
         let hit = self.llc.access(r.addr, block, r.is_write, ctx);
@@ -341,12 +341,12 @@ pub struct CoreSide {
     pub l2c: Cache,
     l1_mshr: MshrFile,
     l2_mshr: MshrFile,
-    l1_prefetcher: Box<dyn Prefetcher>,
-    l2_prefetcher: Box<dyn Prefetcher>,
+    l1_prefetcher: PrefetchState,
+    l2_prefetcher: PrefetchState,
     pf_buf: Vec<u64>,
     /// T-OPT oracle clock: counts hinted accesses from this core, the time
-    /// base `MemRef::next_use` values refer to.
-    oracle_pos: u32,
+    /// base `MemRef::next_use` values refer to. 64-bit so it never wraps.
+    oracle_pos: u64,
     /// Optional victim cache beside the L1D (related-work baseline).
     pub victim: Option<VictimCache>,
 }
@@ -359,8 +359,8 @@ impl CoreSide {
             l2c: Cache::new(&cfg.l2c),
             l1_mshr: MshrFile::new(cfg.l1d.mshr_entries),
             l2_mshr: MshrFile::new(cfg.l2c.mshr_entries),
-            l1_prefetcher: make_prefetcher(cfg.l1d.prefetcher),
-            l2_prefetcher: make_prefetcher(cfg.l2c.prefetcher),
+            l1_prefetcher: PrefetchState::new(cfg.l1d.prefetcher),
+            l2_prefetcher: PrefetchState::new(cfg.l2c.prefetcher),
             pf_buf: Vec::with_capacity(8),
             oracle_pos: 0,
             victim: (cfg.l1_victim_entries > 0).then(|| VictimCache::new(cfg.l1_victim_entries)),
@@ -406,6 +406,9 @@ impl CoreSide {
         backend: &mut SharedBackend,
         now: u64,
     ) {
+        if self.l1_prefetcher.is_none() {
+            return;
+        }
         let mut buf = std::mem::take(&mut self.pf_buf);
         buf.clear();
         self.l1_prefetcher.on_access(pc, block, hit, &mut buf);
@@ -447,6 +450,9 @@ impl CoreSide {
         backend: &mut SharedBackend,
         now: u64,
     ) {
+        if self.l2_prefetcher.is_none() {
+            return;
+        }
         let mut buf = std::mem::take(&mut self.pf_buf);
         buf.clear();
         self.l2_prefetcher.on_access(pc, block, hit, &mut buf);
@@ -515,7 +521,7 @@ impl CoreMemory for CoreSide {
         let block = block_of(r.addr);
         if r.next_use != u32::MAX {
             // Advance the T-OPT oracle clock on every hinted access.
-            self.oracle_pos = self.oracle_pos.wrapping_add(1);
+            self.oracle_pos += 1;
         }
         let ctx = ReplCtx { next_use: r.next_use, pos: self.oracle_pos, sid: r.sid };
 

@@ -15,17 +15,24 @@ pub enum MshrOutcome {
     Granted { start: u64 },
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    block: u64,
-    done: u64,
-}
-
 /// A fixed-capacity MSHR file.
+///
+/// Entries live in two parallel arrays (block addresses and completion
+/// cycles) rather than a `Vec` of structs: the purge sweep reads only
+/// `done` and the merge probe reads only `blocks`, so each scan touches
+/// half the bytes. Entry order is observable — merges match the first
+/// occupant and the full-file victim is the first minimum-`done` entry —
+/// so every operation here preserves the same ordering the struct-of-Vec
+/// version had.
 #[derive(Debug)]
 pub struct MshrFile {
-    entries: Vec<Entry>,
+    blocks: Vec<u64>,
+    done: Vec<u64>,
     capacity: usize,
+    /// Lower bound on every resident completion cycle (`u64::MAX` when
+    /// empty). While `now < min_done` nothing can have expired, so the
+    /// purge sweep — otherwise run on every acquire — is one compare.
+    min_done: u64,
     /// Total same-block merges observed.
     pub merges: u64,
     /// Total cycles requests were delayed waiting for a free slot.
@@ -38,8 +45,10 @@ impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs at least one entry");
         MshrFile {
-            entries: Vec::with_capacity(capacity),
+            blocks: Vec::with_capacity(capacity),
+            done: Vec::with_capacity(capacity),
             capacity,
+            min_done: u64::MAX,
             merges: 0,
             stall_cycles: 0,
             high_water: 0,
@@ -52,7 +61,7 @@ impl MshrFile {
 
     /// Outstanding (not yet completed at `now`) entries.
     pub fn outstanding(&self, now: u64) -> usize {
-        self.entries.iter().filter(|e| e.done > now).count()
+        self.done.iter().filter(|&&d| d > now).count()
     }
 
     /// Is there a free slot at `now`? Prefetchers must check this before
@@ -69,48 +78,71 @@ impl MshrFile {
     /// prefetching under demand pressure.
     pub fn try_acquire(&mut self, block: u64, now: u64) -> bool {
         self.purge(now);
-        if self.entries.len() >= self.capacity {
+        if self.done.len() >= self.capacity {
             return false;
         }
-        if self.entries.iter().any(|e| e.block == block) {
+        if self.blocks.contains(&block) {
             return false;
         }
         true
     }
 
+    /// Drop completed entries, keeping the survivors in their original
+    /// order (order is observable through merge/victim selection).
     fn purge(&mut self, now: u64) {
-        self.entries.retain(|e| e.done > now);
+        if now < self.min_done {
+            return; // nothing resident has expired yet
+        }
+        let mut w = 0;
+        let mut min = u64::MAX;
+        for r in 0..self.done.len() {
+            let d = self.done[r];
+            if d > now {
+                self.blocks[w] = self.blocks[r];
+                self.done[w] = d;
+                min = min.min(d);
+                w += 1;
+            }
+        }
+        self.blocks.truncate(w);
+        self.done.truncate(w);
+        self.min_done = min;
     }
 
     /// Request a slot for a miss to `block` issued at `now`.
     pub fn acquire(&mut self, block: u64, now: u64) -> MshrOutcome {
         self.purge(now);
-        if let Some(e) = self.entries.iter().find(|e| e.block == block) {
+        if let Some(i) = self.blocks.iter().position(|&b| b == block) {
             self.merges += 1;
-            return MshrOutcome::Merged { done: e.done };
+            return MshrOutcome::Merged { done: self.done[i] };
         }
-        if self.entries.len() < self.capacity {
+        if self.done.len() < self.capacity {
             return MshrOutcome::Granted { start: now };
         }
         // Full: wait for the earliest completion, then reuse that slot.
-        let (idx, _) = self
-            .entries
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| e.done)
-            // simlint::allow(unwrap): invariant — this branch means len == capacity, and capacity > 0
-            .expect("invariant: a full MSHR file is non-empty");
-        let start = self.entries[idx].done;
-        self.entries.swap_remove(idx);
+        // First minimum, so ties pick the oldest entry.
+        let mut idx = 0;
+        let mut earliest = u64::MAX;
+        for (i, &d) in self.done.iter().enumerate() {
+            if d < earliest {
+                earliest = d;
+                idx = i;
+            }
+        }
+        let start = self.done[idx];
+        self.blocks.swap_remove(idx);
+        self.done.swap_remove(idx);
         self.stall_cycles += start - now;
         MshrOutcome::Granted { start }
     }
 
     /// Record the completion cycle for a granted miss.
     pub fn commit(&mut self, block: u64, done: u64) {
-        debug_assert!(self.entries.len() < self.capacity);
-        self.entries.push(Entry { block, done });
-        self.high_water = self.high_water.max(self.entries.len() as u64);
+        debug_assert!(self.done.len() < self.capacity);
+        self.blocks.push(block);
+        self.done.push(done);
+        self.min_done = self.min_done.min(done);
+        self.high_water = self.high_water.max(self.done.len() as u64);
     }
 }
 
@@ -186,6 +218,30 @@ mod tests {
         m.acquire(5, 200);
         m.commit(5, 250);
         assert_eq!(m.high_water, 3);
+    }
+
+    #[test]
+    fn purge_preserves_survivor_order() {
+        // Two survivors with tied `done` straddling an expired entry: after
+        // purge, a full-file acquire must evict the *older* survivor (first
+        // minimum), which is only true if compaction kept their order.
+        let mut m = MshrFile::new(3);
+        m.acquire(1, 0);
+        m.commit(1, 100);
+        m.acquire(2, 0);
+        m.commit(2, 10); // expires first
+        m.acquire(3, 0);
+        m.commit(3, 100); // tied with block 1
+                          // At cycle 20, block 2 is gone; the file refills to capacity.
+        assert_eq!(m.acquire(4, 20), MshrOutcome::Granted { start: 20 });
+        m.commit(4, 200);
+        // Full at cycle 30. Earliest done is 100, shared by blocks 1 and 3;
+        // block 1 was committed first and must be the victim, so a
+        // follow-up access to block 3 still merges while block 1 does not.
+        assert_eq!(m.acquire(5, 30), MshrOutcome::Granted { start: 100 });
+        m.commit(5, 300);
+        assert_eq!(m.acquire(3, 31), MshrOutcome::Merged { done: 100 });
+        assert_eq!(m.acquire(1, 32), MshrOutcome::Granted { start: 100 });
     }
 
     #[test]

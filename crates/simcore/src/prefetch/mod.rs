@@ -37,6 +37,49 @@ pub fn make_prefetcher(kind: PrefetcherKind) -> Box<dyn Prefetcher> {
     }
 }
 
+/// Enum-dispatched prefetcher for the hierarchy hot path.
+///
+/// Behaves exactly like the boxed [`Prefetcher`] objects from
+/// [`make_prefetcher`], but with static dispatch so the per-access
+/// `on_access` call (every L1D and L2C demand access makes one) inlines
+/// instead of going through a vtable. The trait stays for composable
+/// users and tests.
+#[derive(Debug)]
+pub enum PrefetchState {
+    None,
+    NextLine(NextLine),
+    Spp(Spp),
+    Stride(StridePrefetcher),
+}
+
+impl PrefetchState {
+    pub fn new(kind: PrefetcherKind) -> Self {
+        match kind {
+            PrefetcherKind::None => PrefetchState::None,
+            PrefetcherKind::NextLine => PrefetchState::NextLine(NextLine::new()),
+            PrefetcherKind::Spp => PrefetchState::Spp(Spp::new(SppConfig::default())),
+            PrefetcherKind::Stride => PrefetchState::Stride(StridePrefetcher::default()),
+        }
+    }
+
+    /// Is this the no-op prefetcher? Lets callers skip the candidate loop
+    /// entirely (it would find the buffer empty anyway).
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        matches!(self, PrefetchState::None)
+    }
+
+    #[inline]
+    pub fn on_access(&mut self, pc: u16, block: u64, hit: bool, out: &mut Vec<u64>) {
+        match self {
+            PrefetchState::None => {}
+            PrefetchState::NextLine(p) => p.on_access(pc, block, hit, out),
+            PrefetchState::Spp(p) => p.on_access(pc, block, hit, out),
+            PrefetchState::Stride(p) => p.on_access(pc, block, hit, out),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

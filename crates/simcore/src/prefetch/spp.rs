@@ -7,6 +7,15 @@
 //! lookahead down the predicted path — while omitting the paper's global
 //! accuracy throttling, which matters little at the lookahead depths used
 //! here.
+//!
+//! The signature table is fully associative with LRU replacement, but the
+//! naive model of that (a linear scan per access, a second full scan per
+//! victim) sat directly on the L2 demand path and dominated simulation
+//! wall time. It is implemented here as an open-addressing page index plus
+//! an intrusive LRU list: O(1) lookup, O(1) victim, and — because tracked
+//! pages are unique, LRU stamps are distinct, and empty slots are only
+//! ever consumed in index order — the slot chosen for every access is
+//! identical to the one the scans picked.
 
 use super::Prefetcher;
 
@@ -37,7 +46,6 @@ struct SigEntry {
     valid: bool,
     last_offset: i32,
     signature: u32,
-    lru: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -46,13 +54,121 @@ struct PatternEntry {
     confidence: u8,
 }
 
+/// Sentinel for an empty page-index probe slot.
+const IDX_EMPTY: u64 = u64::MAX;
+/// Sentinel for a deleted page-index probe slot (tombstone). Pages are
+/// `block / 64` with blocks below 2^58, so neither sentinel collides.
+const IDX_TOMB: u64 = u64::MAX - 1;
+
+/// Open-addressing (linear probe) map from page number to signature-table
+/// slot. Fully deterministic: probe order is a pure function of the key.
+#[derive(Debug)]
+struct PageIndex {
+    keys: Vec<u64>,
+    slots: Vec<u32>,
+    mask: usize,
+    tombs: usize,
+}
+
+impl PageIndex {
+    fn new(capacity: usize) -> Self {
+        // 4x the live capacity keeps probe chains short.
+        let size = (capacity * 4).next_power_of_two();
+        PageIndex { keys: vec![IDX_EMPTY; size], slots: vec![0; size], mask: size - 1, tombs: 0 }
+    }
+
+    #[inline]
+    fn probe_start(&self, page: u64) -> usize {
+        // Fibonacci hashing: spreads consecutive page numbers.
+        (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    #[inline]
+    fn get(&self, page: u64) -> Option<usize> {
+        let mut i = self.probe_start(page);
+        loop {
+            let k = self.keys[i];
+            if k == page {
+                return Some(self.slots[i] as usize);
+            }
+            if k == IDX_EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn insert(&mut self, page: u64, slot: usize) {
+        let mut i = self.probe_start(page);
+        let mut place = None;
+        loop {
+            match self.keys[i] {
+                IDX_EMPTY => {
+                    let at = place.unwrap_or(i);
+                    if self.keys[at] == IDX_TOMB {
+                        self.tombs -= 1;
+                    }
+                    self.keys[at] = page;
+                    self.slots[at] = slot as u32;
+                    return;
+                }
+                IDX_TOMB => place = place.or(Some(i)),
+                k if k == page => {
+                    self.slots[i] = slot as u32;
+                    return;
+                }
+                _ => {}
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn remove(&mut self, page: u64) {
+        let mut i = self.probe_start(page);
+        loop {
+            match self.keys[i] {
+                k if k == page => {
+                    self.keys[i] = IDX_TOMB;
+                    self.tombs += 1;
+                    return;
+                }
+                IDX_EMPTY => return,
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Rebuild when tombstones would stretch probe chains. Live entries
+    /// are re-inserted from the signature table by the caller.
+    fn needs_rebuild(&self) -> bool {
+        self.tombs * 4 > self.keys.len()
+    }
+
+    fn clear(&mut self) {
+        self.keys.fill(IDX_EMPTY);
+        self.tombs = 0;
+    }
+}
+
+/// Sentinel for the LRU list's null link.
+const LRU_NONE: u32 = u32::MAX;
+
 /// Simplified SPP.
 #[derive(Debug)]
 pub struct Spp {
     cfg: SppConfig,
     sig_table: Vec<SigEntry>,
     pattern_table: Vec<PatternEntry>,
-    clock: u64,
+    index: PageIndex,
+    /// Intrusive recency list over signature-table slots; head = MRU,
+    /// tail = LRU victim.
+    lru_prev: Vec<u32>,
+    lru_next: Vec<u32>,
+    lru_head: u32,
+    lru_tail: u32,
+    /// Next never-used slot: empty slots are consumed in index order,
+    /// matching the first-minimum tie-break of the original victim scan.
+    free_next: usize,
 }
 
 impl Spp {
@@ -61,7 +177,12 @@ impl Spp {
             cfg,
             sig_table: vec![SigEntry::default(); cfg.signature_entries],
             pattern_table: vec![PatternEntry::default(); 1 << SIG_BITS],
-            clock: 0,
+            index: PageIndex::new(cfg.signature_entries),
+            lru_prev: vec![LRU_NONE; cfg.signature_entries],
+            lru_next: vec![LRU_NONE; cfg.signature_entries],
+            lru_head: LRU_NONE,
+            lru_tail: LRU_NONE,
+            free_next: 0,
         }
     }
 
@@ -71,17 +192,63 @@ impl Spp {
         ((sig << 3) ^ d) & SIG_MASK
     }
 
-    fn sig_slot(&mut self, page: u64) -> usize {
-        // Fully-associative LRU signature table.
-        if let Some(i) = self.sig_table.iter().position(|e| e.valid && e.page == page) {
-            return i;
+    /// Unlink `slot` from the recency list (it must be linked).
+    #[inline]
+    fn lru_unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.lru_prev[slot], self.lru_next[slot]);
+        if prev == LRU_NONE {
+            self.lru_head = next;
+        } else {
+            self.lru_next[prev as usize] = next;
         }
-        self.sig_table
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        if next == LRU_NONE {
+            self.lru_tail = prev;
+        } else {
+            self.lru_prev[next as usize] = prev;
+        }
+    }
+
+    /// Push `slot` to the MRU end of the recency list.
+    #[inline]
+    fn lru_push_front(&mut self, slot: usize) {
+        self.lru_prev[slot] = LRU_NONE;
+        self.lru_next[slot] = self.lru_head;
+        if self.lru_head != LRU_NONE {
+            self.lru_prev[self.lru_head as usize] = slot as u32;
+        }
+        self.lru_head = slot as u32;
+        if self.lru_tail == LRU_NONE {
+            self.lru_tail = slot as u32;
+        }
+    }
+
+    /// Slot for `page`: the tracked slot on a hit, else a fresh slot
+    /// (first never-used, else the LRU victim). `true` means hit.
+    fn sig_slot(&mut self, page: u64) -> (usize, bool) {
+        if let Some(slot) = self.index.get(page) {
+            self.lru_unlink(slot);
+            return (slot, true);
+        }
+        let slot = if self.free_next < self.sig_table.len() {
+            let s = self.free_next;
+            self.free_next += 1;
+            s
+        } else {
+            let victim = self.lru_tail as usize;
+            self.lru_unlink(victim);
+            self.index.remove(self.sig_table[victim].page);
+            if self.index.needs_rebuild() {
+                self.index.clear();
+                for (i, e) in self.sig_table.iter().enumerate() {
+                    if e.valid && i != victim {
+                        self.index.insert(e.page, i);
+                    }
+                }
+            }
+            victim
+        };
+        self.index.insert(page, slot);
+        (slot, false)
     }
 
     fn train(&mut self, sig: u32, delta: i32) {
@@ -98,14 +265,13 @@ impl Spp {
 
 impl Prefetcher for Spp {
     fn on_access(&mut self, _pc: u16, block: u64, _hit: bool, out: &mut Vec<u64>) {
-        self.clock += 1;
         let page = block / BLOCKS_PER_PAGE;
         let offset = (block % BLOCKS_PER_PAGE) as i32;
 
-        let slot = self.sig_slot(page);
+        let (slot, tracked) = self.sig_slot(page);
         let e = self.sig_table[slot];
         let mut sig = 0u32;
-        if e.valid && e.page == page {
+        if tracked && e.valid {
             let delta = offset - e.last_offset;
             if delta != 0 {
                 self.train(e.signature, delta);
@@ -114,8 +280,8 @@ impl Prefetcher for Spp {
                 sig = e.signature;
             }
         }
-        self.sig_table[slot] =
-            SigEntry { page, valid: true, last_offset: offset, signature: sig, lru: self.clock };
+        self.sig_table[slot] = SigEntry { page, valid: true, last_offset: offset, signature: sig };
+        self.lru_push_front(slot);
 
         // Confidence-gated lookahead down the predicted path.
         let mut cur_sig = sig;
@@ -193,5 +359,39 @@ mod tests {
         let a = Spp::next_signature(0, 1);
         let b = Spp::next_signature(0, -1);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn eviction_tracks_true_lru_under_capacity_pressure() {
+        // More pages than table entries: the oldest-touched page must be
+        // the one evicted (retraining it restarts from a zero signature).
+        let entries = SppConfig::default().signature_entries as u64;
+        let mut spp = Spp::new(SppConfig::default());
+        let mut out = Vec::new();
+        // Touch pages 0..entries+1; page 0 is LRU when entries+1 arrives.
+        for p in 0..=entries {
+            spp.on_access(0, p * BLOCKS_PER_PAGE, false, &mut out);
+        }
+        // Page 1..entries are still tracked; page 0 was evicted.
+        assert_eq!(spp.index.get(0), None);
+        assert!(spp.index.get(1).is_some());
+        assert!(spp.index.get(entries).is_some());
+    }
+
+    #[test]
+    fn page_index_survives_heavy_turnover() {
+        // Cycle far more pages than capacity to exercise tombstone
+        // rebuilds; the index must stay consistent with the sig table.
+        let mut spp = Spp::new(SppConfig::default());
+        let mut out = Vec::new();
+        for i in 0..50_000u64 {
+            let page = (i * 2654435761) % 4096;
+            spp.on_access(0, page * BLOCKS_PER_PAGE + i % 64, false, &mut out);
+        }
+        for (slot, e) in spp.sig_table.iter().enumerate() {
+            if e.valid {
+                assert_eq!(spp.index.get(e.page), Some(slot), "index lost page {}", e.page);
+            }
+        }
     }
 }

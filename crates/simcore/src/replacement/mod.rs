@@ -18,8 +18,10 @@ use crate::config::ReplacementKind;
 pub struct ReplCtx {
     /// Oracle next-use position for this block (`u32::MAX` = no hint).
     pub next_use: u32,
-    /// Current global access position at this cache.
-    pub pos: u32,
+    /// Current global access position at this cache. 64-bit so the
+    /// ordering never wraps: a u32 counter silently corrupts age-based
+    /// victim selection once a long run passes 2^32 accesses.
+    pub pos: u64,
     /// Data-structure id of the access.
     pub sid: u8,
 }
@@ -44,5 +46,114 @@ pub fn make_policy(kind: ReplacementKind, sets: usize, ways: usize) -> Box<dyn R
         ReplacementKind::Lru => Box::new(Lru::new(sets, ways)),
         ReplacementKind::Srrip => Box::new(Srrip::new(sets, ways)),
         ReplacementKind::TOpt => Box::new(TOpt::new(sets, ways)),
+    }
+}
+
+/// Enum-dispatched replacement state for the cache hot path.
+///
+/// Semantically identical to the boxed [`ReplacementPolicy`] objects (the
+/// golden fixtures pin this bit-for-bit), but with static dispatch and flat
+/// arrays so `on_hit`/`on_fill`/`victim` inline into the cache's access
+/// loop. The trait objects remain for composable users (TLBs, tests).
+#[derive(Debug)]
+pub enum ReplState {
+    Lru { ways: usize, stamps: Vec<u64>, clock: u64 },
+    Srrip { ways: usize, rrpv: Vec<u8> },
+    TOpt { ways: usize, next_use: Vec<u64>, stamps: Vec<u64>, clock: u64 },
+}
+
+/// Maximum (eviction-candidate) re-reference prediction value, mirrored
+/// from the boxed SRRIP policy.
+const SRRIP_MAX_RRPV: u8 = 3;
+
+impl ReplState {
+    pub fn new(kind: ReplacementKind, sets: usize, ways: usize) -> Self {
+        match kind {
+            ReplacementKind::Lru => ReplState::Lru { ways, stamps: vec![0; sets * ways], clock: 0 },
+            ReplacementKind::Srrip => {
+                ReplState::Srrip { ways, rrpv: vec![SRRIP_MAX_RRPV; sets * ways] }
+            }
+            ReplacementKind::TOpt => ReplState::TOpt {
+                ways,
+                next_use: vec![u64::MAX; sets * ways],
+                stamps: vec![0; sets * ways],
+                clock: 0,
+            },
+        }
+    }
+
+    #[inline]
+    pub fn on_hit(&mut self, set: usize, way: usize, ctx: ReplCtx) {
+        match self {
+            ReplState::Lru { ways, stamps, clock } => {
+                *clock += 1;
+                stamps[set * *ways + way] = *clock;
+            }
+            ReplState::Srrip { ways, rrpv } => rrpv[set * *ways + way] = 0,
+            ReplState::TOpt { ways, next_use, stamps, clock } => {
+                let idx = set * *ways + way;
+                next_use[idx] = topt::predicted(ctx);
+                *clock += 1;
+                stamps[idx] = *clock;
+            }
+        }
+    }
+
+    #[inline]
+    pub fn on_fill(&mut self, set: usize, way: usize, ctx: ReplCtx) {
+        match self {
+            ReplState::Lru { ways, stamps, clock } => {
+                *clock += 1;
+                stamps[set * *ways + way] = *clock;
+            }
+            ReplState::Srrip { ways, rrpv } => rrpv[set * *ways + way] = SRRIP_MAX_RRPV - 1,
+            ReplState::TOpt { .. } => self.on_hit(set, way, ctx),
+        }
+    }
+
+    #[inline]
+    pub fn victim(&mut self, set: usize) -> usize {
+        match self {
+            ReplState::Lru { ways, stamps, .. } => {
+                let base = set * *ways;
+                let mut victim = 0;
+                let mut oldest = u64::MAX;
+                for (w, &s) in stamps[base..base + *ways].iter().enumerate() {
+                    if s < oldest {
+                        oldest = s;
+                        victim = w;
+                    }
+                }
+                victim
+            }
+            ReplState::Srrip { ways, rrpv } => {
+                let set_rrpv = &mut rrpv[set * *ways..(set + 1) * *ways];
+                loop {
+                    if let Some(w) = set_rrpv.iter().position(|&r| r == SRRIP_MAX_RRPV) {
+                        return w;
+                    }
+                    for r in set_rrpv.iter_mut() {
+                        *r += 1;
+                    }
+                }
+            }
+            ReplState::TOpt { ways, next_use, stamps, .. } => {
+                let base = set * *ways;
+                let mut victim = 0;
+                let mut farthest = 0u64;
+                let mut oldest = u64::MAX;
+                for w in 0..*ways {
+                    let nu = next_use[base + w];
+                    let st = stamps[base + w];
+                    // Prefer the farthest predicted next use; break ties LRU.
+                    if nu > farthest || (nu == farthest && st < oldest) {
+                        farthest = nu;
+                        oldest = st;
+                        victim = w;
+                    }
+                }
+                victim
+            }
+        }
     }
 }

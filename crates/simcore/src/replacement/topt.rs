@@ -30,6 +30,23 @@ const STREAMING_SIDS: [u8; 3] = [1, 2, 7];
 /// Sentinel: predicted never re-referenced.
 const NEVER: u64 = u64::MAX;
 
+/// Predicted absolute next-use position for an access, from the oracle hint
+/// when present and the per-structure assumed distance otherwise. Shared
+/// with the enum-dispatched `ReplState` in the parent module so both paths
+/// stay bit-identical.
+#[inline]
+pub(super) fn predicted(ctx: ReplCtx) -> u64 {
+    if ctx.next_use != u32::MAX {
+        return u64::from(ctx.next_use);
+    }
+    let distance = if STREAMING_SIDS.contains(&ctx.sid) {
+        TOPT_STREAM_DISTANCE
+    } else {
+        TOPT_DEFAULT_DISTANCE
+    };
+    ctx.pos + u64::from(distance)
+}
+
 /// T-OPT: evict the line whose predicted next reference is farthest away.
 #[derive(Debug)]
 pub struct TOpt {
@@ -46,21 +63,9 @@ impl TOpt {
         TOpt { ways, next_use: vec![NEVER; sets * ways], stamps: vec![0; sets * ways], clock: 0 }
     }
 
-    fn predicted(ctx: ReplCtx) -> u64 {
-        if ctx.next_use != u32::MAX {
-            return u64::from(ctx.next_use);
-        }
-        let distance = if STREAMING_SIDS.contains(&ctx.sid) {
-            TOPT_STREAM_DISTANCE
-        } else {
-            TOPT_DEFAULT_DISTANCE
-        };
-        u64::from(ctx.pos) + u64::from(distance)
-    }
-
     fn update(&mut self, set: usize, way: usize, ctx: ReplCtx) {
         let idx = set * self.ways + way;
-        self.next_use[idx] = Self::predicted(ctx);
+        self.next_use[idx] = predicted(ctx);
         self.clock += 1;
         self.stamps[idx] = self.clock;
     }
@@ -98,7 +103,7 @@ impl ReplacementPolicy for TOpt {
 mod tests {
     use super::*;
 
-    fn ctx(next_use: u32, pos: u32) -> ReplCtx {
+    fn ctx(next_use: u32, pos: u64) -> ReplCtx {
         ReplCtx { next_use, pos, sid: 0 }
     }
 

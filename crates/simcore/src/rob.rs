@@ -8,17 +8,46 @@
 //! latency dominate graph-processing IPC (the paper's Finding 1/2 regime).
 
 use simtel::{StallBuckets, StallTag};
-use std::collections::VecDeque;
+
+/// Bits of a packed ROB entry spent on the stall tag.
+const TAG_BITS: u32 = 2;
+const TAG_MASK: u64 = (1 << TAG_BITS) - 1;
+
+/// Pack a completion cycle and stall tag into one word. Completion cycles
+/// stay far below 2^62, so the shift never drops bits.
+#[inline]
+fn pack(completion: u64, tag: StallTag) -> u64 {
+    debug_assert!(completion < 1 << 62);
+    (completion << TAG_BITS) | tag as u64
+}
+
+#[inline]
+fn unpack_tag(entry: u64) -> StallTag {
+    match entry & TAG_MASK {
+        0 => StallTag::Core,
+        1 => StallTag::Mem,
+        2 => StallTag::Dram,
+        _ => StallTag::MshrFull,
+    }
+}
 
 /// The core timing model.
+///
+/// In-flight instructions live in a flat power-of-two ring of packed
+/// `completion << 2 | tag` words (not a `VecDeque` of tuples): half the
+/// bytes per entry and branch-free wraparound, which matters because every
+/// simulated instruction passes through one push and one pop here.
 #[derive(Debug)]
 pub struct RobModel {
     capacity: usize,
     width: usize,
-    /// Completion cycle and stall tag of each in-flight instruction, in
-    /// program order. The tag names what the instruction was waiting on,
-    /// so a dispatch stall behind it can be attributed to a cause.
-    rob: VecDeque<(u64, StallTag)>,
+    /// Packed ring buffer; `ring_mask` is `buf.len() - 1`.
+    buf: Box<[u64]>,
+    ring_mask: usize,
+    /// Ring index of the oldest in-flight instruction.
+    head: usize,
+    /// In-flight instruction count (`<= capacity`).
+    len: usize,
     /// Cycle at which the next dispatch slot opens.
     cycle: u64,
     dispatched_this_cycle: usize,
@@ -34,10 +63,14 @@ pub struct RobModel {
 impl RobModel {
     pub fn new(width: usize, capacity: usize) -> Self {
         assert!(width > 0 && capacity > 0);
+        let ring = capacity.next_power_of_two();
         RobModel {
             capacity,
             width,
-            rob: VecDeque::with_capacity(capacity),
+            buf: vec![0; ring].into_boxed_slice(),
+            ring_mask: ring - 1,
+            head: 0,
+            len: 0,
             cycle: 0,
             dispatched_this_cycle: 0,
             last_retire_cycle: 0,
@@ -47,15 +80,23 @@ impl RobModel {
         }
     }
 
+    #[inline]
+    fn push(&mut self, entry: u64) {
+        debug_assert!(self.len < self.capacity);
+        self.buf[(self.head + self.len) & self.ring_mask] = entry;
+        self.len += 1;
+    }
+
     /// Retire the oldest instruction, honoring in-order retirement and the
     /// retire-width limit; returns the cycle it left the ROB and what it
     /// was waiting on.
+    #[inline]
     fn retire_head(&mut self) -> (u64, StallTag) {
-        let (completion, tag) = self
-            .rob
-            .pop_front()
-            // simlint::allow(unwrap): invariant — both callers check !rob.is_empty() first
-            .expect("invariant: retire_head is only called on a non-empty ROB");
+        debug_assert!(self.len > 0, "retire_head is only called on a non-empty ROB");
+        let entry = self.buf[self.head];
+        self.head = (self.head + 1) & self.ring_mask;
+        self.len -= 1;
+        let (completion, tag) = (entry >> TAG_BITS, unpack_tag(entry));
         let earliest = completion.max(self.last_retire_cycle);
         if earliest > self.last_retire_cycle {
             self.last_retire_cycle = earliest;
@@ -80,7 +121,7 @@ impl RobModel {
         }
         // A full ROB stalls dispatch until the head retires; the wait is
         // charged to whatever the head was blocked on.
-        while self.rob.len() >= self.capacity {
+        while self.len >= self.capacity {
             let (freed_at, tag) = self.retire_head();
             if freed_at > self.cycle {
                 self.stalls.charge(tag, freed_at - self.cycle);
@@ -101,18 +142,25 @@ impl RobModel {
     /// the instruction waits on (memory level, MSHR pressure).
     pub fn complete_tagged(&mut self, completion: u64, tag: StallTag) {
         debug_assert!(completion > self.cycle);
-        self.rob.push_back((completion.max(self.cycle + 1), tag));
+        self.push(pack(completion.max(self.cycle + 1), tag));
     }
 
     /// Dispatch one single-cycle (non-memory) instruction.
     pub fn bubble(&mut self) {
         let d = self.dispatch_slot();
-        self.rob.push_back((d + 1, StallTag::Core));
+        self.push(pack(d + 1, StallTag::Core));
     }
 
     /// Dispatch `n` single-cycle instructions.
+    ///
+    /// Batched: a bubble burst first fills the free ROB slots (no retire
+    /// can trigger while `len < capacity`, so that phase skips the
+    /// full-check entirely), then runs a tight retire-one/push-one loop in
+    /// the full state. Both phases replicate [`RobModel::bubble`] exactly —
+    /// same dispatch, retire, and stall-charge sequence — they only hoist
+    /// the per-instruction branches out of the hot loop.
     pub fn bubbles(&mut self, n: u64) {
-        if self.rob.is_empty() && n > 2 * self.capacity as u64 {
+        if self.len == 0 && n > 2 * self.capacity as u64 {
             // Fast path: with an empty ROB a pure bubble burst is limited
             // only by width. Model the burst analytically, leaving the last
             // `capacity` in flight conservatively drained.
@@ -124,8 +172,43 @@ impl RobModel {
             self.retired_in_cycle = 0;
             return;
         }
-        for _ in 0..n {
-            self.bubble();
+        let mut remaining = n;
+        // Fill phase: pushes only grow `len`, so no retire is possible
+        // until the ROB is full.
+        let fill = remaining.min((self.capacity - self.len) as u64);
+        for _ in 0..fill {
+            if self.dispatched_this_cycle >= self.width {
+                self.cycle += 1;
+                self.dispatched_this_cycle = 0;
+            }
+            self.dispatched_this_cycle += 1;
+            self.buf[(self.head + self.len) & self.ring_mask] =
+                pack(self.cycle + 1, StallTag::Core);
+            self.len += 1;
+        }
+        remaining -= fill;
+        // Full phase: every bubble retires the head (freeing exactly one
+        // slot) and immediately reoccupies it, so `len` stays pinned at
+        // `capacity` for the rest of the burst.
+        while remaining > 0 {
+            if self.dispatched_this_cycle >= self.width {
+                self.cycle += 1;
+                self.dispatched_this_cycle = 0;
+            }
+            let (freed_at, tag) = self.retire_head();
+            if freed_at > self.cycle {
+                self.stalls.charge(tag, freed_at - self.cycle);
+                self.cycle = freed_at;
+                self.dispatched_this_cycle = 0;
+            }
+            self.dispatched_this_cycle += 1;
+            // `retire_head` advanced `head`, so the freed slot is at
+            // `(head + capacity - 1) & ring_mask` = `len` entries past the
+            // new head (`len == capacity - 1` here).
+            self.buf[(self.head + self.len) & self.ring_mask] =
+                pack(self.cycle + 1, StallTag::Core);
+            self.len += 1;
+            remaining -= 1;
         }
     }
 
@@ -136,7 +219,7 @@ impl RobModel {
 
     /// Drain all in-flight instructions; returns the final retire cycle.
     pub fn drain(&mut self) -> u64 {
-        while !self.rob.is_empty() {
+        while self.len > 0 {
             self.retire_head();
         }
         self.last_retire_cycle.max(self.cycle)
@@ -245,6 +328,38 @@ mod tests {
         rob.complete_at(d + 10);
         rob.drain();
         assert_eq!(rob.retired, 101);
+    }
+
+    #[test]
+    fn batched_bubbles_match_single_bubbles_exactly() {
+        // Drive both models through fill + full-state phases: a long-latency
+        // load, a burst larger than the ROB (forcing batched retires behind
+        // the load), another load, another burst. Every observable — cycle,
+        // retired count, stall attribution, drain time — must be identical.
+        let run = |batched: bool| {
+            let mut rob = RobModel::new(4, 32);
+            let d = rob.dispatch_slot();
+            rob.complete_tagged(d + 500, StallTag::Dram);
+            if batched {
+                rob.bubbles(100);
+            } else {
+                for _ in 0..100 {
+                    rob.bubble();
+                }
+            }
+            let d = rob.dispatch_slot();
+            rob.complete_tagged(d + 200, StallTag::Mem);
+            if batched {
+                rob.bubbles(60);
+            } else {
+                for _ in 0..60 {
+                    rob.bubble();
+                }
+            }
+            let end = rob.drain();
+            (end, rob.current_cycle(), rob.retired, rob.stalls)
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

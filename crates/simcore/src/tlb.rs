@@ -3,42 +3,56 @@
 
 use crate::block::page_of;
 use crate::config::{TlbConfig, PAGE_WALK_LATENCY};
-use crate::replacement::{Lru, ReplCtx, ReplacementPolicy};
 use crate::stats::CacheStats;
 
-/// One TLB level: a set-associative array of page numbers.
+/// Sentinel page number marking an empty way. Page numbers are
+/// `addr >> 12`, far below `u64::MAX`, so the sentinel never collides and
+/// the lookup loop compares one flat `u64` lane (no `Option` tag bytes).
+const INVALID_PAGE: u64 = u64::MAX;
+
+/// One TLB level: a set-associative array of page numbers with inline LRU
+/// stamps (same fill/victim order as the `Lru` replacement policy, flattened
+/// into the level so the whole lookup stays in two arrays).
 #[derive(Debug)]
 struct TlbLevel {
     sets: usize,
     ways: usize,
-    pages: Vec<Option<u64>>,
-    policy: Lru,
+    pages: Vec<u64>,
+    stamps: Vec<u64>,
+    clock: u64,
     latency: u64,
 }
 
 impl TlbLevel {
     fn new(cfg: &TlbConfig) -> Self {
+        assert!(
+            cfg.sets.is_power_of_two(),
+            "TLB sets must be a power of two for mask indexing (got {})",
+            cfg.sets
+        );
         TlbLevel {
             sets: cfg.sets,
             ways: cfg.ways,
-            pages: vec![None; cfg.sets * cfg.ways],
-            policy: Lru::new(cfg.sets, cfg.ways),
+            pages: vec![INVALID_PAGE; cfg.sets * cfg.ways],
+            stamps: vec![0; cfg.sets * cfg.ways],
+            clock: 0,
             latency: cfg.latency,
         }
     }
 
+    #[inline]
     fn set_of(&self, page: u64) -> usize {
-        (page % self.sets as u64) as usize
+        (page as usize) & (self.sets - 1)
     }
 
+    #[inline]
     fn lookup(&mut self, page: u64) -> bool {
         let set = self.set_of(page);
         let base = set * self.ways;
-        for w in 0..self.ways {
-            if self.pages[base + w] == Some(page) {
-                self.policy.on_hit(set, w, ReplCtx::NONE);
-                return true;
-            }
+        if let Some(w) = self.pages[base..base + self.ways].iter().position(|&p| p == page) {
+            self.clock += 1;
+            self.stamps[base + w] = self.clock;
+            return true;
         }
         false
     }
@@ -46,11 +60,24 @@ impl TlbLevel {
     fn fill(&mut self, page: u64) {
         let set = self.set_of(page);
         let base = set * self.ways;
-        let way = (0..self.ways)
-            .find(|&w| self.pages[base + w].is_none())
-            .unwrap_or_else(|| self.policy.victim(set));
-        self.pages[base + way] = Some(page);
-        self.policy.on_fill(set, way, ReplCtx::NONE);
+        // First empty way, else the LRU one (first strict minimum stamp).
+        let way = self.pages[base..base + self.ways]
+            .iter()
+            .position(|&p| p == INVALID_PAGE)
+            .unwrap_or_else(|| {
+                let mut victim = 0;
+                let mut oldest = u64::MAX;
+                for (w, &s) in self.stamps[base..base + self.ways].iter().enumerate() {
+                    if s < oldest {
+                        oldest = s;
+                        victim = w;
+                    }
+                }
+                victim
+            });
+        self.pages[base + way] = page;
+        self.clock += 1;
+        self.stamps[base + way] = self.clock;
     }
 }
 

@@ -7,18 +7,21 @@
 
 use crate::stats::CacheStats;
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    block: u64,
-    valid: bool,
-    dirty: bool,
-    stamp: u64,
-}
+/// Sentinel block address marking an empty slot. Real block addresses are
+/// `addr >> 6`, far below `u64::MAX`, so the sentinel never collides and a
+/// single compare replaces the old `valid && block == b` pair.
+const INVALID_BLOCK: u64 = u64::MAX;
 
 /// A small fully-associative victim buffer.
+///
+/// Slots live in parallel flat arrays (block address, LRU stamp, dirty
+/// flag) so the probe loop streams one contiguous `u64` lane instead of
+/// striding over a struct per line.
 #[derive(Debug)]
 pub struct VictimCache {
-    lines: Vec<Line>,
+    blocks: Vec<u64>,
+    stamps: Vec<u64>,
+    dirty: Vec<bool>,
     clock: u64,
     pub stats: CacheStats,
 }
@@ -33,26 +36,26 @@ impl VictimCache {
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0);
         VictimCache {
-            lines: vec![Line::default(); entries],
+            blocks: vec![INVALID_BLOCK; entries],
+            stamps: vec![0; entries],
+            dirty: vec![false; entries],
             clock: 0,
             stats: CacheStats::default(),
         }
     }
 
     pub fn entries(&self) -> usize {
-        self.lines.len()
+        self.blocks.len()
     }
 
     /// Probe for `block`; on a hit the line is *removed* (it swaps back
     /// into the L1) and its dirtiness returned.
     pub fn take(&mut self, block: u64) -> Option<bool> {
         self.clock += 1;
-        for l in &mut self.lines {
-            if l.valid && l.block == block {
-                l.valid = false;
-                self.stats.record_hit();
-                return Some(l.dirty);
-            }
+        if let Some(i) = self.blocks.iter().position(|&b| b == block) {
+            self.blocks[i] = INVALID_BLOCK;
+            self.stats.record_hit();
+            return Some(self.dirty[i]);
         }
         self.stats.record_miss();
         None
@@ -66,28 +69,29 @@ impl VictimCache {
         // Reuse an invalid slot or evict the LRU one.
         let mut victim = 0;
         let mut oldest = u64::MAX;
-        for (i, l) in self.lines.iter().enumerate() {
-            if !l.valid {
+        for i in 0..self.blocks.len() {
+            if self.blocks[i] == INVALID_BLOCK {
                 victim = i;
                 break;
             }
-            if l.stamp < oldest {
-                oldest = l.stamp;
+            if self.stamps[i] < oldest {
+                oldest = self.stamps[i];
                 victim = i;
             }
         }
-        let displaced = &self.lines[victim];
-        let out = (displaced.valid && displaced.dirty)
-            .then_some(DisplacedDirty { block: displaced.block });
+        let out = (self.blocks[victim] != INVALID_BLOCK && self.dirty[victim])
+            .then_some(DisplacedDirty { block: self.blocks[victim] });
         if out.is_some() {
             self.stats.writebacks += 1;
         }
-        self.lines[victim] = Line { block, valid: true, dirty, stamp: self.clock };
+        self.blocks[victim] = block;
+        self.stamps[victim] = self.clock;
+        self.dirty[victim] = dirty;
         out
     }
 
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.blocks.iter().filter(|&&b| b != INVALID_BLOCK).count()
     }
 }
 

@@ -445,6 +445,16 @@ impl Runner {
         let budget = opts.watchdog.budget(self.window.total());
         let limit = opts.watchdog.limit(self.window.total());
 
+        // Reject structurally invalid configurations up front with a typed
+        // error: set indexing is mask-based, so a non-power-of-two set
+        // count must never silently degrade a whole sweep. (Custom specs
+        // validate inside their own build closures.)
+        for p in points {
+            if let Some(kind) = p.system.kind() {
+                kind.system_config(1).validate().map_err(SimError::from)?;
+            }
+        }
+
         // Per-point identity, computed up front: the manifest's
         // config_hash and the resume key both derive from it.
         let hashes: Vec<String> =

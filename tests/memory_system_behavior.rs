@@ -2,12 +2,16 @@
 //! rests on, at the memory-system level: bypass latency, pollution
 //! control, prefetcher stream-gating, and coherence invariants.
 
+use gpkernels::Kernel;
+use gpworkloads::{build_multicore, build_system, SystemKind};
 use sdclp::{sdclp_system, LpConfig, SdcLpConfig};
 use simcore::block::block_of;
 use simcore::config::PrefetcherKind;
 use simcore::hierarchy::{MemorySystem, ServedBy};
-use simcore::trace::MemRef;
-use simcore::{BaselineHierarchy, SystemConfig};
+use simcore::trace::{MemRef, Tracer};
+use simcore::{
+    BaselineHierarchy, CompactTrace, Engine, MulticoreEngine, RecordingTracer, SystemConfig, Window,
+};
 
 fn no_prefetch_cfg() -> SystemConfig {
     let mut cfg = SystemConfig::baseline(1);
@@ -208,6 +212,120 @@ fn victim_cache_recovers_conflicts_but_not_capacity_misses() {
         rand_victim + 20 >= rand_base,
         "a 16-entry victim cache cannot fix capacity misses: {rand_victim} vs {rand_base}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Golden end-state fixtures.
+//
+// A fixed synthetic trace (LCG-generated, seeded) runs through every
+// evaluated system configuration — single-core and 4-core — and the full
+// end-state `SimResult` of each run is serialized and compared byte-for-byte
+// against `tests/fixtures/golden_sim_results.json`. Any change to simulated
+// behaviour (timing, replacement, MSHR, DRAM, routing) shows up as a diff;
+// pure performance rewrites of the hot loop must keep this file identical.
+//
+// To re-pin after an *intentional* model change:
+//     GOLDEN_REGEN=1 cargo test --test memory_system_behavior golden_
+// and commit the updated fixture.
+// ---------------------------------------------------------------------------
+
+fn lcg(x: &mut u64) -> u64 {
+    *x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *x >> 16
+}
+
+/// A deterministic workload-shaped instruction stream: sequential streams
+/// (sid 1/2), T-OPT-hinted irregular property traffic (sid 3), unhinted
+/// irregular traffic (sid 4), stores, and bubbles.
+fn golden_trace(seed: u64, instrs: u64) -> CompactTrace {
+    let mut t = RecordingTracer::new(instrs);
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut seq = (seed & 0xF) << 30;
+    let mut hinted: u32 = 0;
+    while !t.done() {
+        let r = lcg(&mut x);
+        match r % 8 {
+            0..=2 => {
+                seq += 64;
+                t.mem(MemRef::read(1, if r & 8 == 0 { 1 } else { 2 }, seq));
+            }
+            3..=4 => {
+                let addr = 0x2000_0000 + (lcg(&mut x) % (1 << 22)) * 64;
+                hinted = hinted.wrapping_add(1);
+                let nu = hinted.wrapping_add((r % 4096) as u32);
+                let m =
+                    if r & 16 == 0 { MemRef::read(7, 3, addr) } else { MemRef::write(7, 3, addr) };
+                t.mem(m.with_next_use(nu));
+            }
+            5 => {
+                let addr = 0x5000_0000 + (lcg(&mut x) % (1 << 20)) * 64;
+                t.mem(MemRef::read(9, 4, addr));
+            }
+            _ => t.bubble((r % 6) as u32 + 1),
+        }
+    }
+    t.finish()
+}
+
+const GOLDEN_INSTRS: u64 = 60_000;
+const GOLDEN_WINDOW: (u64, u64) = (20_000, 40_000);
+
+fn golden_report() -> String {
+    let window = Window::new(GOLDEN_WINDOW.0, GOLDEN_WINDOW.1);
+    let core = SystemConfig::baseline(1).core;
+    let trace = golden_trace(1, GOLDEN_INSTRS);
+    let mut out = String::new();
+
+    for kind in SystemKind::ALL {
+        let sys = build_system(kind, Kernel::Pr, &SdcLpConfig::table1());
+        let mut engine = Engine::new(sys, core.width, core.rob_entries, window);
+        engine.replay(&trace);
+        let result = engine.finish();
+        out.push_str(&format!("{}: {}\n", kind.name(), serde::to_json_string(&result)));
+    }
+
+    let kernels = [Kernel::Pr, Kernel::Cc, Kernel::Bfs, Kernel::Tc];
+    let traces: Vec<CompactTrace> = (1..=4).map(|s| golden_trace(s, GOLDEN_INSTRS)).collect();
+    let trace_refs: Vec<&CompactTrace> = traces.iter().collect();
+    for kind in [SystemKind::Baseline, SystemKind::SdcLp] {
+        let (cores, backend) = build_multicore(kind, &kernels, 4, &SdcLpConfig::table1());
+        let engine = MulticoreEngine::new(cores, backend, window);
+        let results = engine.run(&trace_refs, core.width, core.rob_entries);
+        for (i, result) in results.iter().enumerate() {
+            out.push_str(&format!(
+                "multicore4/{}/core{}: {}\n",
+                kind.name(),
+                i,
+                serde::to_json_string(result)
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_end_state_sim_results_are_bit_identical() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_sim_results.json");
+    let actual = golden_report();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(path, &actual).expect("write golden fixture");
+        eprintln!("golden fixture regenerated at {path}");
+        return;
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden fixture missing; regenerate with GOLDEN_REGEN=1");
+    if actual != expected {
+        for (a, e) in actual.lines().zip(expected.lines()) {
+            if a != e {
+                panic!(
+                    "simulation end-state diverged from the golden fixture.\n\
+                     first differing line:\n  expected: {e}\n  actual:   {a}\n\
+                     If this change is intentional, re-pin with GOLDEN_REGEN=1."
+                );
+            }
+        }
+        panic!("simulation end-state diverged from the golden fixture (line count changed)");
+    }
 }
 
 #[test]
