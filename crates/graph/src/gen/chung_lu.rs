@@ -34,6 +34,7 @@ pub struct AliasTable {
 }
 
 impl AliasTable {
+    // simlint::allow(panic-path): prob/alias/worklists are sized n and hold indexes drawn from 0..n
     pub fn new(weights: &[f64]) -> Self {
         let n = weights.len();
         assert!(n > 0);
@@ -68,6 +69,7 @@ impl AliasTable {
     }
 
     #[inline]
+    // simlint::allow(panic-path): the drawn index is reduced into 0..n before the prob/alias lookups
     pub fn sample(&self, rng: &mut StdRng) -> u32 {
         let n = self.prob.len();
         let i = rng.random_range(0..n);

@@ -31,6 +31,7 @@ pub struct CcResult {
 }
 
 /// Run Shiloach–Vishkin connected components.
+// simlint::allow(panic-path): vertex arrays are sized num_vertices and neighbor ids are validated by CSR construction
 pub fn connected_components<T: Tracer + ?Sized>(
     input: &KernelInput,
     asid: u8,

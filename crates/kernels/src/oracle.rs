@@ -28,6 +28,7 @@ pub struct NextUseOracle {
 }
 
 impl NextUseOracle {
+    // simlint::allow(panic-path): positions are edge indexes < num_edges; tables are sized num_edges/num_vertices
     pub fn build(g: &Csr) -> Self {
         let e = g.num_edges();
         assert!(e < NONE as usize, "graph too large for 32-bit oracle positions");
@@ -53,6 +54,7 @@ impl NextUseOracle {
     /// at position `i` of sweep `sweep` to vertex `v`. Returns `u32::MAX`
     /// if the oracle position would overflow (effectively "far future").
     #[inline]
+    // simlint::allow(panic-path): i < num_edges and v < num_vertices per kernel contract; tables are sized to match
     pub fn hint(&self, sweep: u32, i: u32, v: VertexId) -> u32 {
         let same_sweep = self.next_pos[i as usize];
         if same_sweep != NONE {

@@ -31,6 +31,7 @@ pub struct PrResult {
 }
 
 /// Run pull-PageRank, emitting the memory trace into `t`.
+// simlint::allow(panic-path): vertex arrays are sized num_vertices and neighbor ids are validated by CSR construction
 pub fn pagerank<T: Tracer + ?Sized>(
     input: &KernelInput,
     asid: u8,

@@ -71,6 +71,7 @@ impl<C: CoreMemory> MulticoreEngine<C> {
     /// address of core `c`'s trace — how one recorded trace is replayed on
     /// several cores at once with disjoint address spaces (the paper's
     /// multi-programmed mixes).
+    // simlint::allow(panic-path): per-core vectors are all sized to the core count fixed at construction, which is also the only divisor
     pub fn run_with_offsets(
         mut self,
         traces: &[&CompactTrace],

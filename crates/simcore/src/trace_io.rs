@@ -135,6 +135,7 @@ pub fn write_trace<W: Write>(trace: &CompactTrace, writer: W) -> io::Result<()> 
 }
 
 /// Deserialize a trace, verifying the length + checksum footer.
+// simlint::allow(panic-path): record framing is length-checked against the buffer before slicing
 pub fn read_trace<R: Read>(reader: R) -> Result<CompactTrace, TraceIoError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];

@@ -1,0 +1,255 @@
+//! The lightweight AST the recursive-descent [`crate::parser`] produces.
+//!
+//! This is deliberately not a full Rust AST: it keeps exactly the shape
+//! the semantic rules (D7–D10) consume — items, `use` aliases, struct
+//! field types, fn signatures with receivers, and per-body *fact lists*
+//! (for-loop sources, call sites, index/division sites, accumulations)
+//! instead of full expression trees. Everything the rules do not read is
+//! parsed far enough to be skipped soundly and then dropped.
+
+/// A parsed source file: the flattened item list (items inside inline
+/// modules appear here too, with `cfg_test` inherited from the module).
+#[derive(Debug, Default)]
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+/// One top-level (or module-nested) item.
+#[derive(Debug)]
+pub struct Item {
+    /// 1-based line of the item's first token (after attributes).
+    pub line: u32,
+    /// True when the item (or an enclosing module) is `#[cfg(test)]` /
+    /// `#[test]`-gated — rule passes skip test code.
+    pub cfg_test: bool,
+    pub kind: ItemKind,
+}
+
+#[derive(Debug)]
+pub enum ItemKind {
+    /// One leaf of a `use` tree: `use a::b::C as D` → path `[a,b,C]`,
+    /// alias `D` (alias = last segment when no `as`).
+    Use { path: Vec<String>, alias: String },
+    /// `type Name = Target;`
+    TypeAlias { name: String, target: TypeRef },
+    /// `struct Name { fields }` (tuple/unit structs carry no fields).
+    Struct { name: String, fields: Vec<Field> },
+    /// `enum Name { .. }` — only the name matters (type existence).
+    Enum { name: String },
+    /// A free function (boxed: `FnDef` dwarfs the other variants).
+    Fn(Box<FnDef>),
+    /// `impl [Trait for] Type { fns }`
+    Impl(ImplBlock),
+    /// `trait Name { fns }` — signatures (and default bodies) kept.
+    Trait { name: String, fns: Vec<FnDef> },
+}
+
+/// One named struct field and its (approximate) type.
+#[derive(Debug)]
+pub struct Field {
+    pub name: String,
+    pub ty: TypeRef,
+}
+
+/// An approximate type reference: the final path segment is the base
+/// name (`HashMap`, `Vec`, `TelemetryHandle`, ...), `args` are the
+/// generic arguments. Tuples parse as base `"(tuple)"`, slices/arrays as
+/// `"[slice]"`, unparsable shapes as `"?"`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TypeRef {
+    pub base: String,
+    pub args: Vec<TypeRef>,
+}
+
+impl TypeRef {
+    pub fn named(base: &str) -> TypeRef {
+        TypeRef { base: base.to_string(), args: Vec::new() }
+    }
+
+    pub fn unknown() -> TypeRef {
+        TypeRef::named("?")
+    }
+}
+
+/// How a method takes `self`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receiver {
+    /// `&self`
+    Ref,
+    /// `&mut self`
+    Mut,
+    /// `self` / `mut self`
+    Owned,
+}
+
+/// A function definition (free, impl method, or trait default).
+#[derive(Debug)]
+pub struct FnDef {
+    pub name: String,
+    pub line: u32,
+    pub cfg_test: bool,
+    pub receiver: Option<Receiver>,
+    /// `(name, type)` for plain `name: Type` params; pattern params keep
+    /// the type under an empty name.
+    pub params: Vec<(String, TypeRef)>,
+    pub ret: Option<TypeRef>,
+    /// `None` for bodyless trait signatures.
+    pub body: Option<Body>,
+}
+
+/// `impl [Trait for] SelfTy { .. }`
+#[derive(Debug)]
+pub struct ImplBlock {
+    pub line: u32,
+    /// The trait name when this is a trait impl (`TelemetrySink`, ...).
+    pub trait_name: Option<String>,
+    /// Base name of the implemented type (`Engine`, `Collector`, ...).
+    pub self_ty: String,
+    pub fns: Vec<FnDef>,
+}
+
+// ---------------------------------------------------------------------------
+// Body facts
+// ---------------------------------------------------------------------------
+
+/// What a value expression hangs off: the start of a method/field chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainBase {
+    /// A plain local / param name.
+    Ident(String),
+    /// `self.a.b` → fields `[a, b]`.
+    SelfField(Vec<String>),
+    /// A `::`-separated path (`HashMap::new`, `mod::helper`).
+    Path(Vec<String>),
+    /// Literal ranges, arithmetic, unparsed shapes.
+    Other,
+}
+
+/// A value expression approximated as base + applied method names, in
+/// application order (`self.shards.values().map(..)` → base
+/// `SelfField([shards])`, methods `[values, map]`). Indexing inside the
+/// chain appears as the pseudo-method `"[]"`; a field projection after a
+/// method call appears as `".field"`.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    pub base: ChainBase,
+    pub methods: Vec<String>,
+    pub line: u32,
+}
+
+impl Chain {
+    pub fn other(line: u32) -> Chain {
+        Chain { base: ChainBase::Other, methods: Vec::new(), line }
+    }
+}
+
+/// `let [mut] name [: ty] = init;`
+#[derive(Debug)]
+pub struct Local {
+    pub name: String,
+    pub line: u32,
+    pub ty: Option<TypeRef>,
+    /// Leading chain of the initializer (`BTreeMap::new()` → Path).
+    pub init: Option<Chain>,
+    /// Turbofish of a `.collect::<T>()` in the initializer, if any.
+    pub collect_ty: Option<TypeRef>,
+    /// The initializer contains `&`, `%`, `min`, or `clamp` — used by
+    /// D9's bounded-index heuristic.
+    pub bounded_init: bool,
+    /// The initializer is visibly a float expression (float literal or
+    /// `as f64` / `as f32` cast).
+    pub float_init: bool,
+}
+
+/// `for pat in <chain> { .. }`
+#[derive(Debug)]
+pub struct ForLoop {
+    pub line: u32,
+    pub source: Chain,
+    /// Token span of the loop body (used to place accumulations).
+    pub body: (usize, usize),
+}
+
+/// `.name(args)` with a resolved receiver chain.
+#[derive(Debug)]
+pub struct MethodCall {
+    pub name: String,
+    pub line: u32,
+    pub receiver: Chain,
+    /// Turbofish type (`.sum::<f64>()`), if present.
+    pub turbofish: Option<TypeRef>,
+    /// Token span of the argument list (inside the parentheses).
+    pub args: (usize, usize),
+    /// `&mut` appears at the top level of the argument tokens.
+    pub mut_ref_arg: bool,
+    /// An argument closure assigns through `self.` (mutates captured
+    /// simulator state).
+    pub closure_self_write: bool,
+}
+
+/// `path::to::fn(args)` — a non-method call.
+#[derive(Debug)]
+pub struct PathCall {
+    pub segments: Vec<String>,
+    pub line: u32,
+}
+
+/// `name!(..)` macro invocation.
+#[derive(Debug)]
+pub struct MacroCall {
+    pub name: String,
+    pub line: u32,
+}
+
+/// `base[index]` indexing expression.
+#[derive(Debug)]
+pub struct IndexSite {
+    pub line: u32,
+    pub base: Chain,
+    /// The index tokens contain a masking/mod/min shape (`&`, `%`,
+    /// `min`, `clamp`) or are a literal — bounded by construction.
+    pub bounded: bool,
+    /// Single-identifier index, for the bounded-local lookup.
+    pub index_ident: Option<String>,
+}
+
+/// Integer-capable `/` `%` (or `/=` `%=`) site.
+#[derive(Debug)]
+pub struct DivSite {
+    pub line: u32,
+    /// Evidence the operands are floats (literal with `.`, `as f64`,
+    /// f32/f64 idents nearby).
+    pub float_hint: bool,
+    /// Divisor is a nonzero numeric literal or carries a `max(`/`.max`
+    /// guard making it nonzero.
+    pub nonzero_divisor: bool,
+    /// Single-identifier divisor, for local type/guard lookup.
+    pub divisor_ident: Option<String>,
+}
+
+/// `target += ..` / `target *= ..` accumulation.
+#[derive(Debug)]
+pub struct AccumSite {
+    pub line: u32,
+    /// Accumulator name (`geo`) or `self.field` path tail.
+    pub target: String,
+    /// Token index of the site (to find the enclosing for loop).
+    pub pos: usize,
+    /// The right-hand side is visibly float-typed.
+    pub rhs_float: bool,
+}
+
+/// Everything the scanner extracted from one fn body.
+#[derive(Debug, Default)]
+pub struct Body {
+    /// Token span of the body (between the braces).
+    pub span: (usize, usize),
+    pub locals: Vec<Local>,
+    pub for_loops: Vec<ForLoop>,
+    pub method_calls: Vec<MethodCall>,
+    pub path_calls: Vec<PathCall>,
+    pub macro_calls: Vec<MacroCall>,
+    pub index_sites: Vec<IndexSite>,
+    pub div_sites: Vec<DivSite>,
+    pub accum_sites: Vec<AccumSite>,
+}

@@ -1,0 +1,397 @@
+//! Intra-workspace call graph over the parsed files.
+//!
+//! Nodes are fn definitions keyed by `(self_ty, name)`. Edges come from
+//! body facts: path calls resolve by path (`Ty::fn`, `mod::fn`, bare
+//! free fns), method calls resolve by *receiver type* where the
+//! [`crate::resolve::Resolver`] can prove one, with a bounded name-based
+//! fallback for the rest. The graph over-approximates (extra edges are
+//! fine for D9's reachability — they only make the check more
+//! conservative) except where the std-method denylist deliberately drops
+//! edges that would otherwise connect everything to everything.
+
+use crate::ast::{ChainBase, File, FnDef, ItemKind};
+use crate::resolve::{FnScope, Resolver};
+use std::collections::BTreeMap;
+
+/// One fn definition in the graph.
+#[derive(Debug)]
+pub struct FnNode {
+    pub file: usize,
+    /// Impl self type (or trait name for trait default bodies).
+    pub self_ty: Option<String>,
+    pub name: String,
+    pub line: u32,
+    pub cfg_test: bool,
+    /// (item index, fn index) locating the `FnDef` in its file: the fn
+    /// index is `None` for free fns, `Some(i)` into an impl/trait.
+    pub loc: (usize, Option<usize>),
+}
+
+impl FnNode {
+    /// `Ty::name` / `name` for messages.
+    pub fn label(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Methods whose names are so common in std that a name-based fallback
+/// edge would connect unrelated code. Typed resolution still creates
+/// edges for these; only the fallback is suppressed.
+const FALLBACK_DENY: [&str; 41] = [
+    "new",
+    "clone",
+    "default",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "clear",
+    "extend",
+    "drain",
+    "entry",
+    "take",
+    "replace",
+    "min",
+    "max",
+    "clamp",
+    "to_string",
+    "to_owned",
+    "as_ref",
+    "as_str",
+    "into",
+    "from",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "write",
+    "flush",
+    "sort",
+    "fill",
+    "parse",
+];
+
+/// Most workspace fns with the same name that a fallback edge may target
+/// before we decide the name is too ambiguous to mean anything.
+const FALLBACK_CAP: usize = 4;
+
+pub struct CallGraph {
+    pub nodes: Vec<FnNode>,
+    edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build nodes and edges for the whole workspace.
+    pub fn build(files: &[&File], resolver: &Resolver) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut typed: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut free: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+
+        let add = |nodes: &mut Vec<FnNode>,
+                   typed: &mut BTreeMap<(String, String), Vec<usize>>,
+                   free: &mut BTreeMap<String, Vec<usize>>,
+                   by_name: &mut BTreeMap<String, Vec<usize>>,
+                   node: FnNode| {
+            let id = nodes.len();
+            by_name.entry(node.name.clone()).or_default().push(id);
+            match &node.self_ty {
+                Some(t) => typed.entry((t.clone(), node.name.clone())).or_default().push(id),
+                None => free.entry(node.name.clone()).or_default().push(id),
+            }
+            nodes.push(node);
+        };
+
+        for (fi, file) in files.iter().enumerate() {
+            for (ii, item) in file.items.iter().enumerate() {
+                match &item.kind {
+                    ItemKind::Fn(f) => add(
+                        &mut nodes,
+                        &mut typed,
+                        &mut free,
+                        &mut by_name,
+                        FnNode {
+                            file: fi,
+                            self_ty: None,
+                            name: f.name.clone(),
+                            line: f.line,
+                            cfg_test: f.cfg_test,
+                            loc: (ii, None),
+                        },
+                    ),
+                    ItemKind::Impl(ib) => {
+                        for (ki, f) in ib.fns.iter().enumerate() {
+                            add(
+                                &mut nodes,
+                                &mut typed,
+                                &mut free,
+                                &mut by_name,
+                                FnNode {
+                                    file: fi,
+                                    self_ty: Some(ib.self_ty.clone()),
+                                    name: f.name.clone(),
+                                    line: f.line,
+                                    cfg_test: f.cfg_test || ib.fns[ki].cfg_test,
+                                    loc: (ii, Some(ki)),
+                                },
+                            );
+                        }
+                    }
+                    ItemKind::Trait { name, fns } => {
+                        for (ki, f) in fns.iter().enumerate() {
+                            if f.body.is_none() {
+                                continue;
+                            }
+                            add(
+                                &mut nodes,
+                                &mut typed,
+                                &mut free,
+                                &mut by_name,
+                                FnNode {
+                                    file: fi,
+                                    self_ty: Some(name.clone()),
+                                    name: f.name.clone(),
+                                    line: f.line,
+                                    cfg_test: f.cfg_test,
+                                    loc: (ii, Some(ki)),
+                                },
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for id in 0..nodes.len() {
+            let node = &nodes[id];
+            let file = files[node.file];
+            let Some(f) = fn_def(file, node.loc) else { continue };
+            let Some(body) = &f.body else { continue };
+            let scope = FnScope { self_ty: node.self_ty.as_deref(), f };
+            let mut out: Vec<usize> = Vec::new();
+
+            for call in &body.path_calls {
+                let Some(fname) = call.segments.last() else { continue };
+                if call.segments.len() >= 2 {
+                    let qual =
+                        resolver.resolve_base(node.file, &call.segments[call.segments.len() - 2]);
+                    if let Some(ids) = typed.get(&(qual.clone(), fname.clone())) {
+                        out.extend(ids);
+                        continue;
+                    }
+                }
+                // Bare or module-qualified free fn.
+                if let Some(ids) = free.get(fname) {
+                    out.extend(ids);
+                }
+            }
+
+            for call in &body.method_calls {
+                // Typed resolution: receiver chain with no trailing
+                // methods resolves to a concrete type.
+                let mut resolved = false;
+                if call.receiver.methods.is_empty()
+                    || call.receiver.methods.iter().all(|m| m.starts_with('.'))
+                {
+                    let base_ty = match &call.receiver.base {
+                        ChainBase::SelfField(fields) if !fields.is_empty() => {
+                            // Extend the field path with `.field`
+                            // projections recorded as methods.
+                            let mut path = fields.clone();
+                            path.extend(
+                                call.receiver
+                                    .methods
+                                    .iter()
+                                    .map(|m| m.trim_start_matches('.').to_string()),
+                            );
+                            resolver.base_ty(
+                                node.file,
+                                &scope,
+                                &ChainBase::SelfField(path),
+                                call.line,
+                            )
+                        }
+                        base => resolver.base_ty(node.file, &scope, base, call.line),
+                    };
+                    if base_ty.base != "?" {
+                        if let Some(ids) = typed.get(&(base_ty.base.clone(), call.name.clone())) {
+                            out.extend(ids);
+                            resolved = true;
+                        }
+                        // A trait-typed receiver (e.g. generic `M:
+                        // MemorySystem`) won't match an impl self_ty;
+                        // fall through to the name fallback below.
+                    }
+                }
+                if !resolved && !FALLBACK_DENY.contains(&call.name.as_str()) {
+                    if let Some(ids) = by_name.get(&call.name) {
+                        if ids.len() <= FALLBACK_CAP {
+                            out.extend(ids);
+                        }
+                    }
+                }
+            }
+
+            out.sort_unstable();
+            out.dedup();
+            edges[id] = out;
+        }
+
+        CallGraph { nodes, edges }
+    }
+
+    /// Node ids whose `(self_ty, name)` matches a root spec. `name`
+    /// matches exactly, unless it ends in `*` — then the part before
+    /// the star is a prefix (`run_matrix*` covers `run_matrix_with`).
+    pub fn roots(&self, specs: &[(&str, &str)]) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                !n.cfg_test
+                    && specs.iter().any(|(ty, name)| {
+                        n.self_ty.as_deref() == Some(*ty)
+                            && match name.strip_suffix('*') {
+                                Some(prefix) => n.name.starts_with(prefix),
+                                None => n.name == *name,
+                            }
+                    })
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// BFS from `roots`; returns `(reachable, parent)` where `parent[v]`
+    /// is the BFS predecessor (usize::MAX for roots/unreached), for
+    /// building "reachable via ..." messages.
+    pub fn reach(&self, roots: &[usize]) -> (Vec<bool>, Vec<usize>) {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut parent = vec![usize::MAX; self.nodes.len()];
+        let mut queue: std::collections::VecDeque<usize> = roots.iter().copied().collect();
+        for &r in roots {
+            seen[r] = true;
+        }
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.edges[v] {
+                if !seen[w] && !self.nodes[w].cfg_test {
+                    seen[w] = true;
+                    parent[w] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+        (seen, parent)
+    }
+
+    /// Root-to-node label path for a reached node.
+    pub fn path_to(&self, parent: &[usize], mut v: usize) -> Vec<String> {
+        let mut labels = vec![self.nodes[v].label()];
+        let mut hops = 0;
+        while parent[v] != usize::MAX && hops < 32 {
+            v = parent[v];
+            labels.push(self.nodes[v].label());
+            hops += 1;
+        }
+        labels.reverse();
+        labels
+    }
+}
+
+/// Locate a `FnDef` from a node's `(item, fn)` indices.
+pub fn fn_def(file: &File, loc: (usize, Option<usize>)) -> Option<&FnDef> {
+    let item = file.items.get(loc.0)?;
+    match (&item.kind, loc.1) {
+        (ItemKind::Fn(f), None) => Some(f.as_ref()),
+        (ItemKind::Impl(ib), Some(k)) => ib.fns.get(k),
+        (ItemKind::Trait { fns, .. }, Some(k)) => fns.get(k),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn graph(srcs: &[&str]) -> (Vec<File>, CallGraph) {
+        let files: Vec<File> = srcs.iter().map(|s| parse(&lex(s)).0).collect();
+        let refs: Vec<&File> = files.iter().collect();
+        let resolver = Resolver::new(&refs);
+        let cg = CallGraph::build(&refs, &resolver);
+        (files, cg)
+    }
+
+    fn id_of(cg: &CallGraph, label: &str) -> usize {
+        cg.nodes.iter().position(|n| n.label() == label).unwrap_or_else(|| {
+            panic!("no node {label}: {:?}", cg.nodes.iter().map(|n| n.label()).collect::<Vec<_>>())
+        })
+    }
+
+    #[test]
+    fn typed_method_edges_resolve_through_fields() {
+        let (_, cg) = graph(&["struct Mem { inner: u64 }\n\
+             impl Mem { fn access(&mut self, a: u64) -> u64 { a } }\n\
+             struct Engine { mem: Mem }\n\
+             impl Engine { fn replay(&mut self) { self.mem.access(1); } }\n"]);
+        let roots = cg.roots(&[("Engine", "replay")]);
+        assert_eq!(roots.len(), 1);
+        let (seen, parent) = cg.reach(&roots);
+        let access = id_of(&cg, "Mem::access");
+        assert!(seen[access]);
+        assert_eq!(cg.path_to(&parent, access), ["Engine::replay", "Mem::access"]);
+    }
+
+    #[test]
+    fn free_and_path_calls_link() {
+        let (_, cg) = graph(&["fn helper(x: u64) -> u64 { x }\n\
+             mod util { }\n\
+             struct Runner;\n\
+             impl Runner {\n\
+               fn run_matrix(&self) { helper(1); crate::stats::geomean(); }\n\
+               fn run_matrix_points(&self) { self.run_matrix(); }\n\
+             }\n\
+             fn geomean() {}\n"]);
+        let exact = cg.roots(&[("Runner", "run_matrix")]);
+        assert_eq!(exact.len(), 1, "bare name is an exact match");
+        let roots = cg.roots(&[("Runner", "run_matrix*")]);
+        assert_eq!(roots.len(), 2, "trailing * makes it a prefix covering both fns");
+        let (seen, _) = cg.reach(&roots);
+        assert!(seen[id_of(&cg, "helper")]);
+        assert!(seen[id_of(&cg, "geomean")]);
+    }
+
+    #[test]
+    fn fallback_skips_denylisted_and_ambiguous_names() {
+        let (_, cg) = graph(&["struct A; impl A { fn get(&self) {} fn probe(&self) {} }\n\
+             struct E; impl E { fn run(&self, x: SomeUnknown) { x.get(); x.probe(); } }\n"]);
+        let (seen, _) = cg.reach(&cg.roots(&[("E", "run")]));
+        assert!(!seen[id_of(&cg, "A::get")], "`get` is denylisted for fallback");
+        assert!(seen[id_of(&cg, "A::probe")], "unique workspace name links by fallback");
+    }
+
+    #[test]
+    fn test_fns_do_not_propagate_reachability() {
+        let (_, cg) = graph(&["struct E; impl E { fn run(&self) { t_only(); } }\n\
+             #[cfg(test)]\nfn t_only() { dangerous(); }\n\
+             fn dangerous() {}\n"]);
+        let (seen, _) = cg.reach(&cg.roots(&[("E", "run")]));
+        assert!(!seen[id_of(&cg, "t_only")]);
+        assert!(!seen[id_of(&cg, "dangerous")]);
+    }
+}

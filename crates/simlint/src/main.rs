@@ -1,24 +1,88 @@
 #![forbid(unsafe_code)]
-//! CLI driver: `cargo run -p simlint [--release] [ROOT]`.
+//! CLI driver: `cargo run -p simlint [--release] -- [ROOT] [FLAGS]`.
 //!
-//! Walks `crates/**/*.rs` under the workspace root (auto-detected from the
-//! current directory unless given), prints one `file:line: rule — message`
-//! per finding, and exits non-zero when anything is found.
+//! Lints every owned source under the workspace root (auto-detected from
+//! the current directory unless given), prints one
+//! `file:line: rule — message` per finding, and exits non-zero when
+//! anything is found.
+//!
+//! Flags:
+//! - `--json`           emit findings as a JSON array instead of text
+//! - `--out PATH`       also write the findings (same format) to PATH
+//! - `--audit-waivers`  report stale waivers instead of findings
+//! - `--list-rules`     print the rule table and exit
+//! - `--help`           usage
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
+struct Cli {
+    root: Option<PathBuf>,
+    json: bool,
+    out: Option<PathBuf>,
+    audit_waivers: bool,
+    list_rules: bool,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: simlint [ROOT] [--json] [--out PATH] [--audit-waivers] [--list-rules]\n\n\
+         rules: {}\n\
+         waiver: // simlint::allow(<rule>): <reason>  (covers its line and the next)",
+        simlint::RULES.join(", ")
+    )
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli =
+        Cli { root: None, json: false, out: None, audit_waivers: false, list_rules: false };
     let mut args = std::env::args().skip(1);
-    let root = match args.next() {
-        Some(flag) if flag == "--help" || flag == "-h" => {
-            println!(
-                "usage: simlint [ROOT]\n\nrules: {}\nwaiver: // simlint::allow(<rule>): <reason>",
-                simlint::RULES.join(", ")
-            );
-            return ExitCode::SUCCESS;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(usage()),
+            "--json" => cli.json = true,
+            "--out" => {
+                let path = args.next().ok_or("--out needs a PATH argument")?;
+                cli.out = Some(PathBuf::from(path));
+            }
+            "--audit-waivers" => cli.audit_waivers = true,
+            "--list-rules" => cli.list_rules = true,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag}\n\n{}", usage()))
+            }
+            path if cli.root.is_none() => cli.root = Some(PathBuf::from(path)),
+            extra => return Err(format!("unexpected argument {extra}\n\n{}", usage())),
         }
-        Some(path) => PathBuf::from(path),
+    }
+    Ok(cli)
+}
+
+/// The `--list-rules` table, exact output asserted by an integration
+/// test so docs and CLI cannot drift apart.
+pub fn rule_listing() -> String {
+    let mut out = String::new();
+    for rule in simlint::RULES {
+        out.push_str(&format!("{rule:<22} {}\n", simlint::rules::describe(rule)));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            println!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.list_rules {
+        print!("{}", rule_listing());
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match cli.root {
+        Some(root) => root,
         None => {
             let cwd = match std::env::current_dir() {
                 Ok(d) => d,
@@ -37,24 +101,41 @@ fn main() -> ExitCode {
         }
     };
 
-    let (files, findings) = match simlint::workspace_sources(&root)
-        .and_then(|files| simlint::lint_workspace(&root).map(|f| (files.len(), f)))
-    {
-        Ok(pair) => pair,
+    let ws = match simlint::Workspace::load(&root) {
+        Ok(ws) => ws,
         Err(e) => {
             eprintln!("simlint: walking {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
+    let files = ws.files.len();
+    let (findings, what) = if cli.audit_waivers {
+        (ws.audit_waivers(), "stale waiver(s)")
+    } else {
+        (ws.lint(), "violation(s)")
+    };
 
-    for f in &findings {
-        println!("{f}");
+    let rendered = if cli.json {
+        simlint::findings_to_json(&findings)
+    } else {
+        let mut out = String::new();
+        for f in &findings {
+            out.push_str(&format!("{f}\n"));
+        }
+        out
+    };
+    print!("{rendered}");
+    if let Some(path) = &cli.out {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("simlint: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
     }
+
+    eprintln!("simlint: {files} files checked, {} {what}", findings.len());
     if findings.is_empty() {
-        eprintln!("simlint: {files} files checked, 0 violations");
         ExitCode::SUCCESS
     } else {
-        eprintln!("simlint: {files} files checked, {} violation(s)", findings.len());
         ExitCode::FAILURE
     }
 }

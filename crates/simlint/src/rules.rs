@@ -1,38 +1,77 @@
-//! The rule pass: repo-specific invariants D1-D5 over the token stream.
+//! The rule pass: repo-specific invariants over two layers — token
+//! patterns (D1–D6) and AST/call-graph semantic checks (D7–D10).
 //!
 //! Each rule has a kebab-case name used both in reports and in waivers:
 //!
-//! | rule            | invariant                                                     |
-//! |-----------------|---------------------------------------------------------------|
-//! | `unordered-map` | D1: no `HashMap`/`HashSet` where iteration order can leak     |
-//! | `wall-clock`    | D2: no `std::time`/`Instant`/`SystemTime` in simulator crates |
-//! | `narrowing-cast`| D3: no narrowing `as` on cycle/counter expressions in simcore |
-//! | `unwrap`        | D4: no `unwrap()`/`expect()` in library code outside tests    |
-//! | `forbid-unsafe` | D5: crate roots must carry `#![forbid(unsafe_code)]`          |
-//! | `no-println`    | D6: no `println!`/`eprintln!` in simulator library crates     |
-//! | `waiver-syntax` | a malformed waiver is itself a violation                      |
+//! | rule                    | invariant                                                       |
+//! |-------------------------|-----------------------------------------------------------------|
+//! | `unordered-map`         | D1: no `HashMap`/`HashSet` where iteration order can leak       |
+//! | `wall-clock`            | D2: no `std::time`/`Instant`/`SystemTime` in simulator crates   |
+//! | `narrowing-cast`        | D3: no narrowing `as` on cycle/counter expressions in simcore   |
+//! | `unwrap`                | D4: no `unwrap()`/`expect()` in library code outside tests      |
+//! | `forbid-unsafe`         | D5: crate roots must carry `#![forbid(unsafe_code)]`            |
+//! | `no-println`            | D6: no `println!`/`eprintln!` in simulator library crates       |
+//! | `nondet-iteration`      | D7: no iteration over unordered containers, through aliases     |
+//! | `float-reduction-order` | D8: no order-sensitive float reduction over unordered/parallel  |
+//! | `panic-path`            | D9: no unwaived panic site reachable from hot entry points      |
+//! | `telemetry-purity`      | D10: telemetry must not mutate simulator state                  |
+//! | `waiver-syntax`         | a malformed waiver is itself a violation (not waivable)         |
+//! | `parse-error`           | simlint's own parser must read every owned file (not waivable)  |
+//! | `stale-waiver`          | `--audit-waivers` only: waiver with no live finding             |
 //!
 //! A waiver is a line comment `// simlint::allow(<rule>): <reason>` with a
 //! mandatory non-empty reason; it silences that one rule on its own line
 //! and on the line directly below (so it can trail the offending line or
-//! sit just above it).
+//! sit just above it). D9 findings anchor at the *fn definition line* —
+//! one finding per hot function, waived where the function is declared.
 
-use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
-use std::collections::BTreeMap;
+use crate::ast::{File, FnDef, ItemKind, Receiver};
+use crate::callgraph::{fn_def, CallGraph};
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+use crate::resolve::{FnScope, Resolver, TyClass};
 use std::fmt;
 
-/// All rule names, for waiver validation and `--help` output.
-pub const RULES: [&str; 6] =
-    ["unordered-map", "wall-clock", "narrowing-cast", "unwrap", "forbid-unsafe", "no-println"];
+/// All waivable rule names, for waiver validation and `--list-rules`.
+pub const RULES: [&str; 10] = [
+    "unordered-map",
+    "wall-clock",
+    "narrowing-cast",
+    "unwrap",
+    "forbid-unsafe",
+    "no-println",
+    "nondet-iteration",
+    "float-reduction-order",
+    "panic-path",
+    "telemetry-purity",
+];
+
+/// One-line description per rule (kept in sync with README by a test).
+pub fn describe(rule: &str) -> &'static str {
+    match rule {
+        "unordered-map" => "no HashMap/HashSet tokens where iteration order can leak (token)",
+        "wall-clock" => "no std::time/Instant/SystemTime in the cycle-accurate stack (token)",
+        "narrowing-cast" => "no narrowing `as` casts on cycle/counter expressions (token)",
+        "unwrap" => "no .unwrap()/.expect() in library code outside tests (token)",
+        "forbid-unsafe" => "crate roots must carry #![forbid(unsafe_code)] (token)",
+        "no-println" => "no println!/eprintln! in simulator library crates (token)",
+        "nondet-iteration" => "no iteration over unordered containers, through aliases (semantic)",
+        "float-reduction-order" => {
+            "no order-sensitive float reduction over unordered/parallel sources (semantic)"
+        }
+        "panic-path" => "no unwaived panic site reachable from hot entry points (semantic)",
+        "telemetry-purity" => "telemetry sinks and call sites must not mutate state (semantic)",
+        _ => "",
+    }
+}
 
 /// One violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Path as reported (workspace-relative when driven by `lint_workspace`).
+    /// Path as reported (workspace-relative when driven by `Workspace`).
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule name (kebab-case, waivable) or `waiver-syntax`.
+    /// Rule name (kebab-case, waivable) or `waiver-syntax`/`parse-error`.
     pub rule: &'static str,
     pub message: String,
 }
@@ -46,36 +85,58 @@ impl fmt::Display for Finding {
 /// Where a file sits in the workspace; decides which rules apply.
 #[derive(Debug, Clone)]
 pub struct FileCtx {
-    /// Directory name under `crates/` (`simcore`, `bench`, ...).
+    /// Directory name under `crates/` (`simcore`, `bench`, ...), or
+    /// `root` for the top-level facade crate.
     pub crate_name: String,
     /// `src/lib.rs`, `src/main.rs`, or a `src/bin/*.rs` target root.
     pub is_crate_root: bool,
+    /// Integration-test code (`crates/<c>/tests/`, root `tests/`):
+    /// parsed for symbols and waiver hygiene, exempt from rules.
+    pub is_test: bool,
 }
 
 impl FileCtx {
     /// Derive the context from a workspace-relative path like
-    /// `crates/simcore/src/cache.rs`. Returns None for paths the linter
-    /// does not own (fixtures, non-crate files).
+    /// `crates/simcore/src/cache.rs`. The linter owns crate sources and
+    /// integration tests plus the top-level `src/` facade and root
+    /// `tests/`; it returns None for fixture trees (intentionally dirty)
+    /// and anything else (benches, vendored shims).
     pub fn from_rel_path(rel: &str) -> Option<FileCtx> {
         let rel = rel.replace('\\', "/");
-        let mut parts = rel.split('/');
-        if parts.next() != Some("crates") {
+        if rel.split('/').any(|seg| seg == "fixtures") {
             return None;
         }
-        let crate_name = parts.next()?.to_string();
-        let rest: Vec<&str> = parts.collect();
-        if rest.first() != Some(&"src") {
-            // tests/, benches/, fixtures/: integration tests are test code
-            // by definition and fixtures are intentionally dirty.
-            return None;
+        let parts: Vec<&str> = rel.split('/').collect();
+        let root_of = |rest: &[&str]| {
+            rest == ["lib.rs"] || rest == ["main.rs"] || (rest.len() == 2 && rest[0] == "bin")
+        };
+        match parts.as_slice() {
+            ["crates", c, "src", rest @ ..] => Some(FileCtx {
+                crate_name: (*c).to_string(),
+                is_crate_root: root_of(rest),
+                is_test: false,
+            }),
+            ["crates", c, "tests", ..] => {
+                Some(FileCtx { crate_name: (*c).to_string(), is_crate_root: false, is_test: true })
+            }
+            ["src", rest @ ..] => Some(FileCtx {
+                crate_name: "root".to_string(),
+                is_crate_root: root_of(rest),
+                is_test: false,
+            }),
+            ["tests", ..] => Some(FileCtx {
+                crate_name: "root".to_string(),
+                is_crate_root: false,
+                is_test: true,
+            }),
+            _ => None,
         }
-        let is_crate_root = rest[1..] == ["lib.rs"]
-            || rest[1..] == ["main.rs"]
-            || (rest.len() == 3 && rest[1] == "bin");
-        Some(FileCtx { crate_name, is_crate_root })
     }
 
     fn rule_applies(&self, rule: &str) -> bool {
+        if self.is_test {
+            return false;
+        }
         match rule {
             // Result-aggregation and simulator state live everywhere but
             // the harness crate (bench aggregates for printing only) and
@@ -96,21 +157,29 @@ impl FileCtx {
             // Simulator libraries report through stats and telemetry sinks;
             // stray prints interleave with harness output and desync logs.
             "no-println" => matches!(self.crate_name.as_str(), "simcore" | "core" | "simtel"),
+            // The semantic rules guard result determinism and hot-path
+            // integrity everywhere but the linter's own sources (which
+            // deliberately exercise forbidden shapes in fixtures/tests).
+            "nondet-iteration" => !matches!(self.crate_name.as_str(), "bench" | "simlint"),
+            "float-reduction-order" | "panic-path" | "telemetry-purity" => {
+                self.crate_name != "simlint"
+            }
             _ => false,
         }
     }
 }
 
-/// A parsed waiver: rule name + the fact it carried a reason.
+/// A parsed waiver: rule name + location (the reason was validated at
+/// parse time).
 #[derive(Debug)]
-struct Waiver {
-    line: u32,
-    rule: String,
+pub struct Waiver {
+    pub line: u32,
+    pub rule: String,
 }
 
 const WAIVER_MARK: &str = "simlint::allow(";
 
-fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<Finding>) {
+pub(crate) fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<Finding>) {
     let mut waivers = Vec::new();
     let mut errors = Vec::new();
     for c in comments {
@@ -242,8 +311,9 @@ fn is_counterish(name: &str) -> bool {
     COUNTER_HINTS.iter().any(|h| lower.contains(h))
 }
 
-/// Run every applicable rule over one lexed file.
-fn run_rules(ctx: &FileCtx, lexed: &Lexed) -> Vec<Finding> {
+/// Run every applicable token rule (D1–D6) over one lexed file. Findings
+/// come back without a file name; the caller attaches it.
+pub(crate) fn token_findings(ctx: &FileCtx, lexed: &Lexed) -> Vec<Finding> {
     let tokens = &lexed.tokens;
     let in_test = test_mask(tokens);
     let mut findings = Vec::new();
@@ -369,31 +439,348 @@ fn run_rules(ctx: &FileCtx, lexed: &Lexed) -> Vec<Finding> {
     findings
 }
 
-/// Lint one file's source. `rel` is the path used in reports and for rule
-/// scoping; sources outside `crates/<name>/src/` produce no findings.
-pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
-    let Some(ctx) = FileCtx::from_rel_path(rel) else {
-        return Vec::new();
-    };
-    let lexed = lex(src);
-    let (waivers, waiver_errors) = parse_waivers(&lexed.comments);
+// ---------------------------------------------------------------------------
+// Semantic rules (D7–D10)
+// ---------------------------------------------------------------------------
 
-    // rule -> waived lines (a waiver covers its own line and the next).
-    let mut waived: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
-    for w in &waivers {
-        waived.entry(w.rule.as_str()).or_default().extend([w.line, w.line + 1]);
+/// One file's view handed to the semantic pass; indices into the slice
+/// are the file ids used by the resolver and call graph.
+pub struct Unit<'a> {
+    pub rel: &'a str,
+    pub ctx: Option<&'a FileCtx>,
+    pub file: &'a File,
+}
+
+/// Hot entry points for D9 reachability. A trailing `*` makes the fn
+/// name a prefix match. `Engine::replay` drives the single-core replay
+/// loop; `mem`/`bubble` are its Tracer callbacks; the multicore engine
+/// and the sweep executor are the other two ways simulation work runs.
+const D9_ROOTS: [(&str, &str); 5] = [
+    ("Engine", "replay"),
+    ("Engine", "mem"),
+    ("Engine", "bubble"),
+    ("MulticoreEngine", "run*"),
+    ("Runner", "run_matrix*"),
+];
+
+/// Macro names that are unconditional panic sites. `assert!` family is
+/// deliberately absent: asserts are guards whose failure we *want* loud.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+fn fns_of(item: &ItemKind) -> Vec<(Option<&str>, &FnDef)> {
+    match item {
+        ItemKind::Fn(f) => vec![(None, f.as_ref())],
+        ItemKind::Impl(ib) => ib.fns.iter().map(|f| (Some(ib.self_ty.as_str()), f)).collect(),
+        ItemKind::Trait { name, fns } => fns.iter().map(|f| (Some(name.as_str()), f)).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Is the accumulation target provably float-typed in this scope?
+fn accum_is_float(
+    resolver: &Resolver,
+    fi: usize,
+    scope: &FnScope<'_>,
+    acc: &crate::ast::AccumSite,
+) -> bool {
+    if acc.rhs_float {
+        return true;
+    }
+    if let Some(body) = &scope.f.body {
+        if let Some(l) = body.locals.iter().find(|l| l.name == acc.target) {
+            if l.float_init {
+                return true;
+            }
+            if let Some(ty) = &l.ty {
+                return resolver.classify(fi, ty) == TyClass::Float;
+            }
+        }
+    }
+    for (name, ty) in &scope.f.params {
+        if name == &acc.target {
+            return resolver.classify(fi, ty) == TyClass::Float;
+        }
+    }
+    if let Some(self_ty) = scope.self_ty {
+        let fty = resolver.field_ty(fi, self_ty, std::slice::from_ref(&acc.target));
+        if resolver.classify(fi, &fty) == TyClass::Float {
+            return true;
+        }
+    }
+    false
+}
+
+/// Run D7–D10 across the whole workspace. Findings carry their file.
+pub fn semantic_findings(units: &[Unit<'_>]) -> Vec<Finding> {
+    let files: Vec<&File> = units.iter().map(|u| u.file).collect();
+    let resolver = Resolver::new(&files);
+    let graph = CallGraph::build(&files, &resolver);
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // ---- D7 / D8 / D10: per-file walks -----------------------------------
+    for (fi, unit) in units.iter().enumerate() {
+        let Some(ctx) = unit.ctx else { continue };
+        let d7 = ctx.rule_applies("nondet-iteration");
+        let d8 = ctx.rule_applies("float-reduction-order");
+        let d10 = ctx.rule_applies("telemetry-purity");
+        if !(d7 || d8 || d10) {
+            continue;
+        }
+        let mut push = |line: u32, rule: &'static str, message: String| {
+            findings.push(Finding { file: unit.rel.to_string(), line, rule, message });
+        };
+        for item in &unit.file.items {
+            if item.cfg_test {
+                continue;
+            }
+            if let ItemKind::Impl(ib) = &item.kind {
+                // D10a: sink implementations live in simtel (or tests) —
+                // a sink inside a simulator crate is a side channel that
+                // can observe-and-mutate the system under measurement.
+                if d10
+                    && ib.trait_name.as_deref() == Some("TelemetrySink")
+                    && ctx.crate_name != "simtel"
+                {
+                    push(
+                        ib.line,
+                        "telemetry-purity",
+                        format!(
+                            "TelemetrySink impl for {} outside simtel: sinks belong to the \
+                             telemetry crate (or test code) so they cannot reach simulator state",
+                            ib.self_ty
+                        ),
+                    );
+                }
+                // D10b: the handle's inherent API is read-only from the
+                // engine's perspective — `&mut self` would let a
+                // telemetry call perturb what it measures. Owned-self
+                // builders (construction) are fine.
+                if d10
+                    && ctx.crate_name == "simtel"
+                    && ib.trait_name.is_none()
+                    && ib.self_ty == "TelemetryHandle"
+                {
+                    for f in &ib.fns {
+                        if f.receiver == Some(Receiver::Mut) {
+                            push(
+                                f.line,
+                                "telemetry-purity",
+                                format!(
+                                    "TelemetryHandle::{} takes &mut self; handle methods must \
+                                     take &self so call sites cannot mutate through telemetry",
+                                    f.name
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            for (self_ty, f) in fns_of(&item.kind) {
+                if f.cfg_test {
+                    continue;
+                }
+                let Some(body) = &f.body else { continue };
+                let scope = FnScope { self_ty, f };
+                if d7 || d8 {
+                    for fl in &body.for_loops {
+                        let info = resolver.chain_source(fi, &scope, &fl.source);
+                        if d7 && info.class == TyClass::Unordered {
+                            push(
+                                fl.line,
+                                "nondet-iteration",
+                                "for-loop over an unordered container (resolved through \
+                                 aliases/fields): iteration order is nondeterministic and can \
+                                 reach results or manifests; use a BTree container or sort first"
+                                    .to_string(),
+                            );
+                        }
+                        if d8 && info.class == TyClass::Unordered {
+                            for acc in &body.accum_sites {
+                                if acc.pos >= fl.body.0
+                                    && acc.pos < fl.body.1
+                                    && accum_is_float(&resolver, fi, &scope, acc)
+                                {
+                                    push(
+                                        acc.line,
+                                        "float-reduction-order",
+                                        format!(
+                                            "float accumulation into `{}` inside a loop over an \
+                                             unordered source: float addition is not associative, \
+                                             so the result depends on iteration order",
+                                            acc.target
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                for call in &body.method_calls {
+                    let name = call.name.as_str();
+                    if (d7 && name == "for_each")
+                        || (d8 && matches!(name, "sum" | "product" | "fold" | "reduce"))
+                    {
+                        let info = resolver.chain_source(fi, &scope, &call.receiver);
+                        if d7 && name == "for_each" && info.class == TyClass::Unordered {
+                            push(
+                                call.line,
+                                "nondet-iteration",
+                                "for_each over an unordered container: iteration order is \
+                                 nondeterministic; use a BTree container or sort first"
+                                    .to_string(),
+                            );
+                        }
+                        if d8 {
+                            let float_turbofish = call
+                                .turbofish
+                                .as_ref()
+                                .is_some_and(|t| matches!(t.base.as_str(), "f32" | "f64"));
+                            let fires = match name {
+                                "sum" | "product" => {
+                                    float_turbofish
+                                        && (info.class == TyClass::Unordered || info.parallel)
+                                }
+                                "fold" | "reduce" => info.class == TyClass::Unordered,
+                                _ => false,
+                            };
+                            if fires {
+                                push(
+                                    call.line,
+                                    "float-reduction-order",
+                                    format!(
+                                        ".{name}() over an {} sequence: non-associative \
+                                         reduction order must be deterministic — aggregate from \
+                                         an ordered source (slice, BTree) instead",
+                                        if info.parallel {
+                                            "unordered/parallel"
+                                        } else {
+                                            "unordered"
+                                        }
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    // D10c: call sites on a TelemetryHandle must not pass
+                    // `&mut` simulator state or mutate `self` from a
+                    // recording closure.
+                    if d10 && (call.mut_ref_arg || call.closure_self_write) {
+                        let recv_ty = resolver.base_ty(fi, &scope, &call.receiver.base, call.line);
+                        if call.receiver.methods.is_empty()
+                            && resolver.classify(fi, &recv_ty) == TyClass::TelHandle
+                        {
+                            let what = if call.closure_self_write {
+                                "its closure argument writes simulator state through `self`"
+                            } else {
+                                "it passes `&mut` state into the telemetry layer"
+                            };
+                            push(
+                                call.line,
+                                "telemetry-purity",
+                                format!(
+                                    "TelemetryHandle::{} call is not observation-only: {what}; \
+                                     telemetry must never perturb simulation results",
+                                    call.name
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
-    let mut findings: Vec<Finding> = run_rules(&ctx, &lexed)
-        .into_iter()
-        .filter(|f| !waived.get(f.rule).is_some_and(|lines| lines.contains(&f.line)))
-        .chain(waiver_errors)
-        .collect();
-    for f in &mut findings {
-        f.file = rel.to_string();
+    // ---- D9: call-graph reachability -------------------------------------
+    let roots = graph.roots(&D9_ROOTS);
+    let (reachable, parent) = graph.reach(&roots);
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if !reachable[id] || node.cfg_test {
+            continue;
+        }
+        let unit = &units[node.file];
+        let Some(ctx) = unit.ctx else { continue };
+        if !ctx.rule_applies("panic-path") {
+            continue;
+        }
+        let Some(f) = fn_def(unit.file, node.loc) else { continue };
+        let Some(body) = &f.body else { continue };
+
+        let unwraps = body
+            .method_calls
+            .iter()
+            .filter(|m| matches!(m.name.as_str(), "unwrap" | "expect"))
+            .count();
+        let macros =
+            body.macro_calls.iter().filter(|m| PANIC_MACROS.contains(&m.name.as_str())).count();
+        let local_bounded = |ident: &Option<String>| {
+            ident
+                .as_ref()
+                .is_some_and(|name| body.locals.iter().any(|l| l.name == *name && l.bounded_init))
+        };
+        let indexes = body
+            .index_sites
+            .iter()
+            .filter(|s| !s.bounded && !local_bounded(&s.index_ident))
+            .count();
+        let scope = FnScope { self_ty: node.self_ty.as_deref(), f };
+        let divisor_float = |ident: &Option<String>| {
+            ident.as_ref().is_some_and(|name| {
+                let ty = resolver.base_ty(
+                    node.file,
+                    &scope,
+                    &crate::ast::ChainBase::Ident(name.clone()),
+                    f.line,
+                );
+                resolver.classify(node.file, &ty) == TyClass::Float
+            })
+        };
+        let divs = body
+            .div_sites
+            .iter()
+            .filter(|s| !s.float_hint && !s.nonzero_divisor && !divisor_float(&s.divisor_ident))
+            .count();
+
+        if unwraps + macros + indexes + divs == 0 {
+            continue;
+        }
+        let mut parts = Vec::new();
+        if unwraps > 0 {
+            parts.push(format!("{unwraps} unwrap/expect"));
+        }
+        if macros > 0 {
+            parts.push(format!("{macros} panic-family macro"));
+        }
+        if indexes > 0 {
+            parts.push(format!("{indexes} unproven index"));
+        }
+        if divs > 0 {
+            parts.push(format!("{divs} unguarded integer division"));
+        }
+        let via = graph.path_to(&parent, id).join(" → ");
+        findings.push(Finding {
+            file: unit.rel.to_string(),
+            line: node.line,
+            rule: "panic-path",
+            message: format!(
+                "`{}` can panic on the hot path ({}) and is reachable via {}; prove the \
+                 sites can't fire (mask/min the index, guard the divisor, return a Result) \
+                 or waive at this fn definition with the invariant",
+                node.label(),
+                parts.join(", "),
+                via
+            ),
+        });
     }
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+
     findings
+}
+
+/// Lint one file's source. `rel` is the path used in reports and for rule
+/// scoping; sources outside the linter's ownership produce no findings.
+/// Single-file convenience over [`crate::Workspace`] — cross-file
+/// symbols are invisible here.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    crate::Workspace::from_sources(&[(rel, src)]).lint()
 }
 
 #[cfg(test)]
@@ -575,6 +962,222 @@ mod tests {
         assert!(lint_as(SIM_FILE, src).is_empty());
     }
 
+    // ---- D7 ----
+
+    #[test]
+    fn d7_sees_through_use_alias_type_alias_and_fields() {
+        // The HashMap token is aliased away, so D1 can't see it in the
+        // using file — D7 resolves it.
+        let ws = crate::Workspace::from_sources(&[
+            (
+                "crates/core/src/types.rs",
+                "// simlint::allow(unordered-map): alias definition only, D7 guards iteration\n\
+                 use std::collections::HashMap as FastMap;\n\
+                 pub type RouteTable = FastMap<u64, u64>;\n",
+            ),
+            (
+                "crates/core/src/router.rs",
+                "use crate::types::RouteTable;\n\
+                 pub struct Router { table: RouteTable }\n\
+                 impl Router {\n\
+                   pub fn dump(&self) { for e in self.table.values() { work(e); } }\n\
+                 }\n",
+            ),
+        ]);
+        let f = ws.lint();
+        assert_eq!(rules_of(&f), ["nondet-iteration"], "{f:?}");
+        assert_eq!(f[0].file, "crates/core/src/router.rs");
+        assert_eq!(f[0].line, 4, "{f:?}");
+    }
+
+    #[test]
+    fn d7_passes_ordered_and_unknown_sources() {
+        let src = "struct S { m: BTreeMap<u64, u64>, v: Vec<u64> }\n\
+                   impl S {\n\
+                     fn f(&self, other: &Unknown) {\n\
+                       for x in self.m.values() {}\n\
+                       for y in self.v.iter() {}\n\
+                       for z in other.things() {}\n\
+                     }\n\
+                   }\n";
+        assert!(lint_as(SIM_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn d7_flags_for_each_and_accepts_waiver() {
+        let src = "fn f() {\n\
+                     let m = HashMap::new();\n\
+                     m.keys().for_each(|k| work(k));\n\
+                   }\n";
+        // Line 2 gets D1 (HashMap token); line 3 gets D7.
+        let f = lint_as(SIM_FILE, src);
+        assert!(f.iter().any(|f| f.rule == "nondet-iteration" && f.line == 3), "{f:?}");
+        let waived = "fn f() {\n\
+                      let m = HashMap::new(); // simlint::allow(unordered-map): local scratch\n\
+                      // simlint::allow(nondet-iteration): side-effect-free count\n\
+                      m.keys().for_each(|k| work(k));\n\
+                    }\n";
+        assert!(lint_as(SIM_FILE, waived).is_empty());
+    }
+
+    // ---- D8 ----
+
+    #[test]
+    fn d8_flags_float_accumulation_over_unordered_source() {
+        let src = "struct S { shares: HashMap<u64, f64> }\n\
+                   impl S {\n\
+                     fn total(&self) -> f64 {\n\
+                       let mut sum = 0.0;\n\
+                       for v in self.shares.values() { sum += v; }\n\
+                       sum\n\
+                     }\n\
+                   }\n";
+        let f = lint_as(SIM_FILE, src);
+        assert!(f.iter().any(|f| f.rule == "float-reduction-order" && f.line == 5), "{f:?}");
+        // The loop itself is also nondeterministic iteration.
+        assert!(f.iter().any(|f| f.rule == "nondet-iteration" && f.line == 5));
+    }
+
+    #[test]
+    fn d8_flags_float_sum_turbofish_over_unordered_or_parallel() {
+        let unordered = "struct S { m: HashSet<u64> }\n\
+                         impl S { fn f(&self) -> f64 { self.m.iter().map(|x| 1.0).sum::<f64>() } }\n";
+        let f = lint_as(SIM_FILE, unordered);
+        assert!(f.iter().any(|f| f.rule == "float-reduction-order"), "{f:?}");
+
+        let par = "fn f(xs: &Vec<f64>) -> f64 { xs.par_iter().cloned().sum::<f64>() }\n";
+        let f = lint_as(SIM_FILE, par);
+        assert_eq!(rules_of(&f), ["float-reduction-order"], "{f:?}");
+    }
+
+    #[test]
+    fn d8_passes_ordered_reductions() {
+        // The geomean shape: slice iteration, float sum — ordered, fine.
+        let src = "pub fn geomean(xs: &[f64]) -> f64 {\n\
+                     let s: f64 = xs.iter().map(|x| x.ln()).sum::<f64>();\n\
+                     (s / xs.len() as f64).exp()\n\
+                   }\n\
+                   fn sums(v: &Vec<f64>) -> f64 {\n\
+                     let mut acc = 0.0;\n\
+                     for x in v.iter() { acc += x; }\n\
+                     acc\n\
+                   }\n";
+        assert!(lint_as(SIM_FILE, src).is_empty());
+    }
+
+    // ---- D9 ----
+
+    #[test]
+    fn d9_flags_panic_sites_reachable_from_hot_roots() {
+        let ws = crate::Workspace::from_sources(&[
+            (
+                "crates/simcore/src/engine.rs",
+                "pub struct Engine { mem: Mem }\n\
+                 impl Engine {\n\
+                   pub fn replay(&mut self) { self.mem.access(1); }\n\
+                 }\n",
+            ),
+            (
+                "crates/simcore/src/mem.rs",
+                "pub struct Mem { slots: Vec<u64> }\n\
+                 impl Mem {\n\
+                   pub fn access(&mut self, a: usize) -> u64 { self.slots[a] }\n\
+                 }\n",
+            ),
+        ]);
+        let f = ws.lint();
+        assert!(
+            f.iter().any(|f| f.rule == "panic-path"
+                && f.file == "crates/simcore/src/mem.rs"
+                && f.line == 3
+                && f.message.contains("Engine::replay")),
+            "{f:?}"
+        );
+        // Engine::replay itself has no panic sites — no finding there.
+        assert!(!f.iter().any(|f| f.rule == "panic-path" && f.file.ends_with("engine.rs")));
+    }
+
+    #[test]
+    fn d9_exempts_bounded_indexes_guarded_divs_and_cold_fns() {
+        let ws = crate::Workspace::from_sources(&[(
+            "crates/simcore/src/engine.rs",
+            "pub struct Engine { tags: Vec<u64>, mask: usize }\n\
+             impl Engine {\n\
+               pub fn replay(&mut self, i: usize, n: u64) -> u64 {\n\
+                 let idx = i & self.mask;\n\
+                 let avg = (n as f64) / 2.0;\n\
+                 self.tags[idx] + self.tags[i & 7] + (n / n.max(1)) + avg as u64\n\
+               }\n\
+             }\n\
+             pub fn cold_helper(x: Option<u64>) -> u64 { x.unwrap() }\n",
+        )]);
+        let f = ws.lint();
+        // cold_helper's unwrap gets D4 but not D9 (unreachable from roots).
+        assert!(f.iter().all(|f| f.rule != "panic-path"), "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "unwrap"));
+    }
+
+    #[test]
+    fn d9_waiver_anchors_at_fn_definition() {
+        let ws = crate::Workspace::from_sources(&[(
+            "crates/simcore/src/engine.rs",
+            "pub struct Engine;\n\
+             impl Engine {\n\
+               // simlint::allow(panic-path): ring index is masked at construction\n\
+               pub fn replay(&mut self, v: &Vec<u64>, i: usize) -> u64 {\n\
+                 v[i]\n\
+               }\n\
+             }\n",
+        )]);
+        assert!(ws.lint().iter().all(|f| f.rule != "panic-path"));
+    }
+
+    // ---- D10 ----
+
+    #[test]
+    fn d10_flags_sink_impls_outside_simtel() {
+        let src = "pub struct Probe;\n\
+                   impl TelemetrySink for Probe { fn event(&mut self) {} }\n";
+        let f = lint_as(SIM_FILE, src);
+        assert!(f.iter().any(|f| f.rule == "telemetry-purity" && f.line == 2), "{f:?}");
+        // Inside simtel it's the expected place.
+        assert!(lint_as("crates/simtel/src/sinks.rs", src).is_empty());
+        // Test code may define probe sinks anywhere.
+        let test_src = "#[cfg(test)]\nmod tests {\n  struct P;\n  \
+                        impl TelemetrySink for P { fn event(&mut self) {} }\n}\n";
+        assert!(lint_as(SIM_FILE, test_src).is_empty());
+    }
+
+    #[test]
+    fn d10_requires_shared_receivers_on_the_handle() {
+        let src = "pub struct TelemetryHandle { n: u64 }\n\
+                   impl TelemetryHandle {\n\
+                     pub fn event(&self) {}\n\
+                     pub fn with_sink(self) -> Self { self }\n\
+                     pub fn reset(&mut self) { self.n = 0; }\n\
+                   }\n";
+        let f = lint_as("crates/simtel/src/lib.rs", src);
+        let d10: Vec<&Finding> = f.iter().filter(|f| f.rule == "telemetry-purity").collect();
+        assert_eq!(d10.len(), 1, "{f:?}");
+        assert_eq!(d10[0].line, 5);
+    }
+
+    #[test]
+    fn d10_flags_mutating_call_sites() {
+        let src = "pub struct Engine { tel: TelemetryHandle, count: u64, buf: Vec<u64> }\n\
+                   impl Engine {\n\
+                     fn step(&mut self) {\n\
+                       self.tel.event(1, || { self.count += 1; 2 });\n\
+                       self.tel.interval(&mut self.buf);\n\
+                       self.tel.event(2, || 3);\n\
+                     }\n\
+                   }\n";
+        let f = lint_as(SIM_FILE, src);
+        let d10: Vec<u32> =
+            f.iter().filter(|f| f.rule == "telemetry-purity").map(|f| f.line).collect();
+        assert_eq!(d10, [4, 5], "{f:?}");
+    }
+
     // ---- waiver hygiene ----
 
     #[test]
@@ -597,9 +1200,44 @@ mod tests {
     }
 
     #[test]
-    fn paths_outside_crate_src_are_ignored() {
+    fn stale_waivers_are_audited() {
+        let ws = crate::Workspace::from_sources(&[(
+            "crates/simcore/src/cache.rs",
+            "// simlint::allow(unwrap): stale — nothing below unwraps anymore\n\
+             fn f(x: u32) -> u32 { x }\n\
+             fn g(x: Option<u32>) -> u32 {\n\
+               x.unwrap() // simlint::allow(unwrap): live waiver\n\
+             }\n",
+        )]);
+        let stale = ws.audit_waivers();
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        assert_eq!(stale[0].rule, "stale-waiver");
+        assert_eq!(stale[0].line, 1);
+    }
+
+    // ---- path ownership ----
+
+    #[test]
+    fn fixtures_are_ignored_and_root_crate_is_linted() {
         let dirty = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert!(lint_as("crates/simlint/tests/fixtures/unwrap.rs", dirty).is_empty());
-        assert!(lint_as("src/lib.rs", dirty).is_empty());
+        // The top-level src/ facade is owned by the linter now.
+        let f = lint_as("src/lib.rs", dirty);
+        assert!(f.iter().any(|f| f.rule == "unwrap"), "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "forbid-unsafe"), "root lib.rs is a crate root: {f:?}");
+        // Integration tests are parsed but exempt from rules...
+        assert!(lint_as("tests/kernel_correctness.rs", dirty).is_empty());
+        assert!(lint_as("crates/simcore/tests/engine.rs", dirty).is_empty());
+        // ...except waiver hygiene.
+        let bad_waiver = "// simlint::allow(bogus-rule): nope\nfn t() {}\n";
+        let f = lint_as("tests/kernel_correctness.rs", bad_waiver);
+        assert_eq!(rules_of(&f), ["waiver-syntax"]);
+    }
+
+    #[test]
+    fn rule_table_and_descriptions_cover_all_rules() {
+        for rule in RULES {
+            assert!(!describe(rule).is_empty(), "missing description for {rule}");
+        }
     }
 }

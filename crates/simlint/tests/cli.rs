@@ -1,0 +1,71 @@
+//! CLI contract tests: flag parsing, exit codes, and the `--list-rules`
+//! table (asserted verbatim so the CLI, the rule registry, and the docs
+//! cannot drift apart).
+
+use std::path::Path;
+use std::process::Command;
+
+fn simlint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_simlint"))
+}
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("workspace root")
+}
+
+#[test]
+fn list_rules_prints_the_exact_rule_table() {
+    let out = simlint().arg("--list-rules").output().expect("run simlint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let expected = "\
+unordered-map          no HashMap/HashSet tokens where iteration order can leak (token)
+wall-clock             no std::time/Instant/SystemTime in the cycle-accurate stack (token)
+narrowing-cast         no narrowing `as` casts on cycle/counter expressions (token)
+unwrap                 no .unwrap()/.expect() in library code outside tests (token)
+forbid-unsafe          crate roots must carry #![forbid(unsafe_code)] (token)
+no-println             no println!/eprintln! in simulator library crates (token)
+nondet-iteration       no iteration over unordered containers, through aliases (semantic)
+float-reduction-order  no order-sensitive float reduction over unordered/parallel sources (semantic)
+panic-path             no unwaived panic site reachable from hot entry points (semantic)
+telemetry-purity       telemetry sinks and call sites must not mutate state (semantic)
+";
+    assert_eq!(stdout, expected);
+}
+
+#[test]
+fn clean_workspace_exits_zero_with_empty_json() {
+    let out = simlint().arg(workspace_root()).arg("--json").output().expect("run simlint");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "[]\n");
+}
+
+#[test]
+fn audit_waivers_flag_exits_zero_when_all_live() {
+    let out = simlint().arg(workspace_root()).arg("--audit-waivers").output().expect("run simlint");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stale waiver"));
+}
+
+#[test]
+fn out_flag_writes_the_report_file() {
+    let dir = std::env::temp_dir().join("simlint-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("report.json");
+    let out = simlint()
+        .arg(workspace_root())
+        .arg("--json")
+        .arg("--out")
+        .arg(&path)
+        .output()
+        .expect("run simlint");
+    assert!(out.status.success());
+    assert_eq!(std::fs::read_to_string(&path).expect("report written"), "[]\n");
+}
+
+#[test]
+fn unknown_flags_fail_with_usage() {
+    let out = simlint().arg("--bogus").output().expect("run simlint");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}

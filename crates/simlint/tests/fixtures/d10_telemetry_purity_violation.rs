@@ -1,0 +1,21 @@
+// D10 fixture: a sink impl outside simtel and a handle call site whose
+// closure mutates simulator state must both trip.
+pub struct Probe;
+
+impl TelemetrySink for Probe {
+    fn event(&mut self) {}
+}
+
+pub struct Core {
+    tel: TelemetryHandle,
+    count: u64,
+}
+
+impl Core {
+    fn tick(&mut self) {
+        self.tel.event(1, || {
+            self.count += 1;
+            0
+        });
+    }
+}

@@ -1,0 +1,24 @@
+// D10 fixture: waivers clear both sites; a pure observation call never
+// trips.
+pub struct Probe;
+
+// simlint::allow(telemetry-purity): test-support probe, registered only from #[cfg(test)] builders
+impl TelemetrySink for Probe {
+    fn event(&mut self) {}
+}
+
+pub struct Core {
+    tel: TelemetryHandle,
+    count: u64,
+}
+
+impl Core {
+    fn tick(&mut self) {
+        // simlint::allow(telemetry-purity): counter feeds the sink itself, not SimResults
+        self.tel.event(1, || {
+            self.count += 1;
+            0
+        });
+        self.tel.event(2, || 3);
+    }
+}

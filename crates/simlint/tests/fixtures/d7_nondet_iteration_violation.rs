@@ -1,0 +1,16 @@
+// D7 fixture: the HashMap token itself is waived (D1), so only the
+// iteration site — resolved through the struct field — must trip.
+pub struct Shards {
+    // simlint::allow(unordered-map): D7 fixture targets the iteration site
+    map: HashMap<u64, u64>,
+}
+
+impl Shards {
+    pub fn dump(&self) -> u64 {
+        let mut n = 0;
+        for (_k, v) in self.map.iter() {
+            n += v;
+        }
+        n
+    }
+}

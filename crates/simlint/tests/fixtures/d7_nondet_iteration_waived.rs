@@ -1,0 +1,21 @@
+// D7 fixture: waiver on the loop clears the finding; the ordered variant
+// below never trips in the first place.
+pub struct Shards {
+    // simlint::allow(unordered-map): D7 fixture targets the iteration site
+    map: HashMap<u64, u64>,
+    sorted: BTreeMap<u64, u64>,
+}
+
+impl Shards {
+    pub fn dump(&self) -> u64 {
+        let mut n = 0;
+        // simlint::allow(nondet-iteration): summing is order-insensitive over integers
+        for (_k, v) in self.map.iter() {
+            n += v;
+        }
+        for (_k, v) in self.sorted.iter() {
+            n += v;
+        }
+        n
+    }
+}

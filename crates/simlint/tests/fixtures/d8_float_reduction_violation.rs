@@ -1,0 +1,18 @@
+// D8 fixture: float accumulation inside a loop over an unordered
+// container. The loop itself is waived for D7 so only the accumulation
+// site must trip.
+pub struct Shares {
+    // simlint::allow(unordered-map): D8 fixture targets the reduction site
+    by_pc: HashMap<u16, f64>,
+}
+
+impl Shares {
+    pub fn total(&self) -> f64 {
+        let mut sum = 0.0;
+        // simlint::allow(nondet-iteration): D8 fixture isolates the accumulation below
+        for v in self.by_pc.values() {
+            sum += v;
+        }
+        sum
+    }
+}

@@ -1,0 +1,26 @@
+// D8 fixture: the waived accumulation passes, and ordered reductions
+// (slice iteration, Vec sum) never trip.
+pub struct Shares {
+    // simlint::allow(unordered-map): D8 fixture targets the reduction site
+    by_pc: HashMap<u16, f64>,
+}
+
+impl Shares {
+    pub fn total(&self) -> f64 {
+        let mut sum = 0.0;
+        // simlint::allow(nondet-iteration): D8 fixture isolates the accumulation below
+        for v in self.by_pc.values() {
+            // simlint::allow(float-reduction-order): re-sorted downstream before compare
+            sum += v;
+        }
+        sum
+    }
+}
+
+pub fn geomean(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs.iter() {
+        acc += x.ln();
+    }
+    (acc / xs.len() as f64).exp()
+}

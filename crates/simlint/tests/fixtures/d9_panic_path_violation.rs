@@ -1,0 +1,15 @@
+// D9 fixture: `Engine::replay` is a hot root; the helper it calls
+// indexes without a bound proof, so the helper's fn definition trips.
+pub struct Engine {
+    vals: Vec<u64>,
+}
+
+impl Engine {
+    pub fn replay(&mut self, i: usize) -> u64 {
+        self.fetch(i)
+    }
+
+    fn fetch(&self, i: usize) -> u64 {
+        self.vals[i]
+    }
+}

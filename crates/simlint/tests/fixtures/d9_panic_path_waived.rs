@@ -1,0 +1,21 @@
+// D9 fixture: a fn-definition waiver clears the reachable panic site,
+// and a masked index never trips in the first place.
+pub struct Engine {
+    vals: Vec<u64>,
+    mask: usize,
+}
+
+impl Engine {
+    pub fn replay(&mut self, i: usize) -> u64 {
+        self.fetch(i) + self.fetch_masked(i)
+    }
+
+    // simlint::allow(panic-path): callers pass indexes < vals.len() by construction
+    fn fetch(&self, i: usize) -> u64 {
+        self.vals[i]
+    }
+
+    fn fetch_masked(&self, i: usize) -> u64 {
+        self.vals[i & self.mask]
+    }
+}

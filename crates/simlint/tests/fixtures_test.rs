@@ -92,3 +92,55 @@ fn findings_render_as_file_line_rule_message() {
         "unexpected rendering: {line}"
     );
 }
+
+#[test]
+fn d7_fixture_trips_and_waiver_clears() {
+    let f = lint_fixture("d7_nondet_iteration_violation.rs", "crates/simcore/src/fx.rs");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "nondet-iteration");
+    let w = lint_fixture("d7_nondet_iteration_waived.rs", "crates/simcore/src/fx.rs");
+    assert!(w.is_empty(), "waived fixture must be clean: {w:?}");
+}
+
+#[test]
+fn d8_fixture_trips_and_waiver_clears() {
+    let f = lint_fixture("d8_float_reduction_violation.rs", "crates/simcore/src/fx.rs");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "float-reduction-order");
+    let w = lint_fixture("d8_float_reduction_waived.rs", "crates/simcore/src/fx.rs");
+    assert!(w.is_empty(), "waived fixture must be clean: {w:?}");
+}
+
+#[test]
+fn d9_fixture_trips_and_waiver_clears() {
+    let f = lint_fixture("d9_panic_path_violation.rs", "crates/simcore/src/fx.rs");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "panic-path");
+    assert!(f[0].message.contains("Engine::replay"), "path in message: {f:?}");
+    let w = lint_fixture("d9_panic_path_waived.rs", "crates/simcore/src/fx.rs");
+    assert!(w.is_empty(), "waived fixture must be clean: {w:?}");
+}
+
+#[test]
+fn d10_fixture_trips_and_waiver_clears() {
+    let f = lint_fixture("d10_telemetry_purity_violation.rs", "crates/simcore/src/fx.rs");
+    assert_eq!(f.len(), 2, "sink impl and call site both flagged: {f:?}");
+    assert!(f.iter().all(|f| f.rule == "telemetry-purity"));
+    let w = lint_fixture("d10_telemetry_purity_waived.rs", "crates/simcore/src/fx.rs");
+    assert!(w.is_empty(), "waived fixture must be clean: {w:?}");
+}
+
+#[test]
+fn json_report_matches_golden() {
+    let ws = simlint::Workspace::from_sources(&[
+        ("crates/simcore/src/engine.rs".to_string(), fixture("d9_panic_path_violation.rs")),
+        ("crates/simcore/src/shards.rs".to_string(), fixture("d7_nondet_iteration_violation.rs")),
+    ]);
+    let json = simlint::findings_to_json(&ws.lint());
+    let golden = fixture("golden_report.json");
+    assert_eq!(
+        json, golden,
+        "regenerate tests/fixtures/golden_report.json if the change is intended"
+    );
+    assert_eq!(simlint::findings_to_json(&[]), "[]\n");
+}

@@ -42,3 +42,33 @@ fn workspace_walk_sees_every_crate() {
     // Dirty fixtures must never be walked.
     assert!(as_str.iter().all(|p| !p.contains("/fixtures/")), "fixtures leaked into the walk");
 }
+
+/// Parser smoke test: simlint's own recursive-descent parser must read
+/// every file it owns without recording a single error — a parse error
+/// means the semantic rules silently see less than the whole file.
+#[test]
+fn parser_reads_every_owned_workspace_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("workspace root");
+    let ws = simlint::Workspace::load(root).expect("workspace walk failed");
+    assert!(ws.files.len() > 100, "walk shrank unexpectedly: {} files", ws.files.len());
+    let mut bad = Vec::new();
+    for sf in &ws.files {
+        if sf.ctx.is_some() && !sf.parse_errors.is_empty() {
+            for e in &sf.parse_errors {
+                bad.push(format!("{}:{}: {}", sf.rel, e.line, e.what));
+            }
+        }
+    }
+    assert!(bad.is_empty(), "parse errors in owned files:\n{}", bad.join("\n"));
+}
+
+/// The workspace's waivers must all be live: a stale waiver would
+/// silently mask the next real finding at that location.
+#[test]
+fn workspace_has_no_stale_waivers() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("workspace root");
+    let ws = simlint::Workspace::load(root).expect("workspace walk failed");
+    let stale = ws.audit_waivers();
+    let report: Vec<String> = stale.iter().map(|f| f.to_string()).collect();
+    assert!(stale.is_empty(), "stale waivers:\n{}", report.join("\n"));
+}

@@ -436,6 +436,7 @@ impl Runner {
 
     /// The general executor: arbitrary [`SystemSpec`]s per point (config
     /// sweeps and ablations build their own systems).
+    // simlint::allow(panic-path): point/system vectors are index-aligned by construction; the in-fn unwraps hold invariants waived at their sites
     pub fn run_matrix_points(
         &self,
         points: &[MatrixPoint],

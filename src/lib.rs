@@ -27,6 +27,8 @@
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
 
+#![forbid(unsafe_code)]
+
 pub use gpgraph as graph;
 pub use gpkernels as kernels;
 pub use gpworkloads as workloads;
