@@ -143,6 +143,77 @@ impl Chain {
     }
 }
 
+/// One value *read* inside an expression span, as the def/use scanner
+/// sees it: a plain local/param name or a `self.field` access (keyed by
+/// the first field — taint tracking is field-insensitive past one hop).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum UseRef {
+    Ident(String),
+    SelfField(String),
+}
+
+/// Where an assignment statement writes. Complex targets the scanner
+/// cannot key (`*guard = ..`, `f().x = ..`) are dropped — taint through
+/// them is lost, which errs toward silence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssignTarget {
+    /// `name = ..`, `name.field = ..`, `name[i] = ..` — all keyed by the
+    /// root local (container-coarse).
+    Local(String),
+    /// `self.f = ..`, `self.f.g = ..`, `self.f[i] = ..` — keyed by the
+    /// first field.
+    SelfField(String),
+}
+
+/// `target = rhs;` / `target op= rhs;` (compound ops included: for taint
+/// purposes both only ever *add* to the target).
+#[derive(Debug)]
+pub struct AssignSite {
+    pub line: u32,
+    /// Token index of the `=`.
+    pub pos: usize,
+    pub target: AssignTarget,
+    /// Token span of the right-hand side.
+    pub rhs: (usize, usize),
+    /// Value reads inside the right-hand side.
+    pub uses: Vec<UseRef>,
+}
+
+/// `return expr;` — or the fn's tail expression when it has a return
+/// type (approximated as the last `;`-free statement of the body).
+#[derive(Debug)]
+pub struct ReturnSite {
+    pub line: u32,
+    /// Token span of the returned expression.
+    pub rhs: (usize, usize),
+    pub uses: Vec<UseRef>,
+}
+
+/// `Name { field: expr, .. }` record construction. Pattern positions
+/// (`let`/`match` destructuring) are filtered where recognizable; the
+/// residue only matters when a *tainted* read sits inside the braces.
+#[derive(Debug)]
+pub struct StructLit {
+    pub name: String,
+    pub line: u32,
+    /// Token span inside the braces.
+    pub span: (usize, usize),
+    /// Value reads inside the braces (field-name positions excluded;
+    /// shorthand `Name { field }` counts as a read of `field`).
+    pub uses: Vec<UseRef>,
+}
+
+/// `lhs op rhs` for the unit-safety ops (`+ - < > <= >= == != %`).
+/// Operands are kept as chains; D12 only fires when *both* sides
+/// classify to a known unit.
+#[derive(Debug)]
+pub struct BinOpSite {
+    pub line: u32,
+    pub op: String,
+    pub lhs: Chain,
+    pub rhs: Chain,
+}
+
 /// `let [mut] name [: ty] = init;`
 #[derive(Debug)]
 pub struct Local {
@@ -159,6 +230,10 @@ pub struct Local {
     /// The initializer is visibly a float expression (float literal or
     /// `as f64` / `as f32` cast).
     pub float_init: bool,
+    /// Token span of the initializer (empty when there is none).
+    pub rhs: (usize, usize),
+    /// Value reads inside the initializer.
+    pub uses: Vec<UseRef>,
 }
 
 /// `for pat in <chain> { .. }`
@@ -175,6 +250,8 @@ pub struct ForLoop {
 pub struct MethodCall {
     pub name: String,
     pub line: u32,
+    /// Token index of the method name (keys per-call-site resolution).
+    pub pos: usize,
     pub receiver: Chain,
     /// Turbofish type (`.sum::<f64>()`), if present.
     pub turbofish: Option<TypeRef>,
@@ -185,6 +262,13 @@ pub struct MethodCall {
     /// An argument closure assigns through `self.` (mutates captured
     /// simulator state).
     pub closure_self_write: bool,
+    /// Value reads anywhere inside the argument list (flat — the taint
+    /// pass does not map arguments to parameter positions).
+    pub arg_uses: Vec<UseRef>,
+    /// Names written inside argument closures (`x = ..`, `x op= ..`, or
+    /// a mutating call like `x.push(..)`) that are *not* bound inside
+    /// the closure — i.e. mutable captures.
+    pub closure_writes: Vec<String>,
 }
 
 /// `path::to::fn(args)` — a non-method call.
@@ -192,6 +276,12 @@ pub struct MethodCall {
 pub struct PathCall {
     pub segments: Vec<String>,
     pub line: u32,
+    /// Token index of the final path segment.
+    pub pos: usize,
+    /// Token span of the argument list (inside the parentheses).
+    pub args: (usize, usize),
+    /// Value reads anywhere inside the argument list.
+    pub arg_uses: Vec<UseRef>,
 }
 
 /// `name!(..)` macro invocation.
@@ -252,4 +342,8 @@ pub struct Body {
     pub index_sites: Vec<IndexSite>,
     pub div_sites: Vec<DivSite>,
     pub accum_sites: Vec<AccumSite>,
+    pub assigns: Vec<AssignSite>,
+    pub returns: Vec<ReturnSite>,
+    pub struct_lits: Vec<StructLit>,
+    pub binops: Vec<BinOpSite>,
 }

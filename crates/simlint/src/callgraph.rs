@@ -91,6 +91,11 @@ const FALLBACK_CAP: usize = 4;
 pub struct CallGraph {
     pub nodes: Vec<FnNode>,
     edges: Vec<Vec<usize>>,
+    /// Per-node: call-site token position (`MethodCall::pos` /
+    /// `PathCall::pos`) → resolved callee node ids. The dataflow pass
+    /// uses this to map *specific* calls to callee summaries, where the
+    /// flat `edges` only answer reachability.
+    call_targets: Vec<BTreeMap<usize, Vec<usize>>>,
 }
 
 impl CallGraph {
@@ -177,6 +182,7 @@ impl CallGraph {
         }
 
         let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut call_targets: Vec<BTreeMap<usize, Vec<usize>>> = vec![BTreeMap::new(); nodes.len()];
         for id in 0..nodes.len() {
             let node = &nodes[id];
             let file = files[node.file];
@@ -184,20 +190,27 @@ impl CallGraph {
             let Some(body) = &f.body else { continue };
             let scope = FnScope { self_ty: node.self_ty.as_deref(), f };
             let mut out: Vec<usize> = Vec::new();
+            let mut sites = BTreeMap::new();
 
             for call in &body.path_calls {
                 let Some(fname) = call.segments.last() else { continue };
+                let mut tgts: Vec<usize> = Vec::new();
                 if call.segments.len() >= 2 {
                     let qual =
                         resolver.resolve_base(node.file, &call.segments[call.segments.len() - 2]);
                     if let Some(ids) = typed.get(&(qual.clone(), fname.clone())) {
-                        out.extend(ids);
-                        continue;
+                        tgts.extend(ids);
                     }
                 }
-                // Bare or module-qualified free fn.
-                if let Some(ids) = free.get(fname) {
-                    out.extend(ids);
+                if tgts.is_empty() {
+                    // Bare or module-qualified free fn.
+                    if let Some(ids) = free.get(fname) {
+                        tgts.extend(ids);
+                    }
+                }
+                if !tgts.is_empty() {
+                    out.extend(&tgts);
+                    sites.insert(call.pos, tgts);
                 }
             }
 
@@ -205,6 +218,7 @@ impl CallGraph {
                 // Typed resolution: receiver chain with no trailing
                 // methods resolves to a concrete type.
                 let mut resolved = false;
+                let mut tgts: Vec<usize> = Vec::new();
                 if call.receiver.methods.is_empty()
                     || call.receiver.methods.iter().all(|m| m.starts_with('.'))
                 {
@@ -230,7 +244,7 @@ impl CallGraph {
                     };
                     if base_ty.base != "?" {
                         if let Some(ids) = typed.get(&(base_ty.base.clone(), call.name.clone())) {
-                            out.extend(ids);
+                            tgts.extend(ids);
                             resolved = true;
                         }
                         // A trait-typed receiver (e.g. generic `M:
@@ -241,18 +255,39 @@ impl CallGraph {
                 if !resolved && !FALLBACK_DENY.contains(&call.name.as_str()) {
                     if let Some(ids) = by_name.get(&call.name) {
                         if ids.len() <= FALLBACK_CAP {
-                            out.extend(ids);
+                            tgts.extend(ids);
                         }
                     }
+                }
+                if !tgts.is_empty() {
+                    out.extend(&tgts);
+                    sites.insert(call.pos, tgts);
                 }
             }
 
             out.sort_unstable();
             out.dedup();
             edges[id] = out;
+            call_targets[id] = sites;
         }
 
-        CallGraph { nodes, edges }
+        CallGraph { nodes, edges, call_targets }
+    }
+
+    /// Callees resolved for the call site at token position `pos` inside
+    /// node `id`'s body (empty when nothing resolved there).
+    pub fn targets_at(&self, id: usize, pos: usize) -> &[usize] {
+        self.call_targets[id].get(&pos).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Direct callees of a node.
+    pub fn callees(&self, id: usize) -> &[usize] {
+        &self.edges[id]
+    }
+
+    /// Node ids of all nodes in `file` (for per-file triage).
+    pub fn nodes_in_file(&self, file: usize) -> impl Iterator<Item = usize> + '_ {
+        self.nodes.iter().enumerate().filter(move |(_, n)| n.file == file).map(|(id, _)| id)
     }
 
     /// Node ids whose `(self_ty, name)` matches a root spec. `name`

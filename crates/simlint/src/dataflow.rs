@@ -1,0 +1,869 @@
+//! Interprocedural determinism-taint dataflow (D11, D13).
+//!
+//! Built on the per-body def/use facts ([`crate::ast`]: assignment,
+//! return, struct-literal, and call-argument use lists) and the
+//! [`crate::callgraph`]'s per-call-site target resolution. The analysis
+//! is a classic two-level fixpoint:
+//!
+//! 1. **Intra-body**: a taint map from value keys (locals, `self.field`
+//!    roots) to origin sets, iterated over the body's def/use events
+//!    until stable (bounded passes — the fact lists are flat, so a
+//!    handful of rounds reaches the fixpoint).
+//! 2. **Interprocedural**: per-fn summaries — which *global sources*
+//!    reach the return value, whether *argument values* reach the return
+//!    value, and which sinks argument values reach — recomputed over the
+//!    call graph until no summary changes (bounded iterations).
+//!
+//! Arguments are folded flat: a call with any tainted argument activates
+//! the callee's argument flows. That over-approximates which argument
+//! mattered but never invents taint, and it keeps summaries small and
+//! the fixpoint monotone. Every set is a `BTree*` so iteration order —
+//! and therefore finding order and messages — is deterministic.
+//!
+//! **Polarity**: sources and sinks are recognized from explicit tables
+//! (below); everything unrecognized contributes no taint. D11/D13 lean
+//! toward silence — the workspace triages to *zero unwaived findings*,
+//! so a speculative source would immediately punish real code.
+
+use crate::ast::{AssignTarget, Body, ChainBase, File, UseRef};
+use crate::callgraph::{fn_def, CallGraph};
+use crate::parser::MUT_METHODS;
+use crate::resolve::{FnScope, Resolver, TyClass, PAR_METHODS};
+use crate::rules::{Finding, Unit};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Order-sensitive sequence terminators for the float-reduction source.
+const REDUCERS: [&str; 4] = ["sum", "product", "fold", "reduce"];
+
+/// Result-record types: constructing one of these from a tainted value
+/// is a D11/D13 sink.
+const SINK_TYPES: [&str; 4] = ["SimResult", "RunRecord", "RunManifest", "MulticoreResult"];
+
+/// Receiver types whose method calls serialize results/telemetry.
+const SINK_RECEIVERS: [&str; 2] = ["ManifestWriter", "TelemetryHandle"];
+
+/// Free/assoc fns that serialize results or traces.
+const SINK_FNS: [&str; 3] = ["write_trace", "write_manifest_jsonl", "to_json_string"];
+
+/// Cap on the callee-chain recorded per cross-fn sink (prevents path
+/// blowup through call cycles; anything deeper reports the prefix).
+const VIA_CAP: usize = 8;
+
+/// Bound on interprocedural fixpoint rounds (summaries are monotone, so
+/// this is a safety net, not the normal exit).
+const INTER_ROUNDS: usize = 12;
+
+/// Bound on intra-body passes per analysis.
+const INTRA_PASSES: usize = 8;
+
+/// Where taint comes from, as tracked inside one fn body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Origin {
+    /// A global source site (index into [`Dataflow::sources`]).
+    Source(usize),
+    /// Derived from this fn's own parameters (flat — any of them).
+    Args,
+}
+
+/// One recognized taint source.
+#[derive(Debug)]
+struct SourceDesc {
+    /// Rule the source belongs to.
+    rule: &'static str,
+    file: usize,
+    line: u32,
+    /// Human description, e.g. "wall-clock read `Instant::now()`".
+    what: String,
+}
+
+/// A sink reachable from a fn's arguments, for cross-fn reporting.
+/// Keyed by (file, line, what); `via` is the callee chain from the
+/// summarized fn down to the sink (first path found wins — insertion is
+/// key-monotone so the fixpoint terminates).
+type ArgSinks = BTreeMap<(usize, u32, String), Vec<String>>;
+
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct FnSummary {
+    /// Global source ids reaching the return value.
+    ret_sources: BTreeSet<usize>,
+    /// Any argument value reaches the return value.
+    ret_from_args: bool,
+    /// Sinks (here or below) reachable from argument values.
+    arg_sinks: ArgSinks,
+}
+
+/// A value key: a local/param name or a `self.field` root.
+type Key = UseRef;
+type Taint = BTreeMap<Key, BTreeSet<Origin>>;
+/// (key, source id) → hop descriptions, first arrival wins.
+type Traces = BTreeMap<(Key, usize), Vec<String>>;
+/// One assignment-like event: (token pos, defined key, rhs span, rhs
+/// uses, line).
+type Event<'b> = (usize, Key, (usize, usize), &'b [UseRef], u32);
+
+/// Per-node positional source seeds computed in the pre-pass.
+#[derive(Debug, Default)]
+struct NodeSeeds {
+    /// Source calls at a token position: any def whose rhs span covers
+    /// the position absorbs the source.
+    at_pos: Vec<(usize, usize)>,
+    /// Direct key seeds (order-tainted locals, D13 captures).
+    keyed: Vec<(Key, usize)>,
+}
+
+/// One sink occurrence inside a body.
+struct SinkHit {
+    line: u32,
+    what: String,
+    origins: BTreeSet<Origin>,
+    /// Trace hops for each source origin (from [`Traces`]).
+    hops: BTreeMap<usize, Vec<String>>,
+}
+
+pub struct Dataflow<'a> {
+    units: &'a [Unit<'a>],
+    files: &'a [&'a File],
+    resolver: &'a Resolver,
+    cg: &'a CallGraph,
+    sources: Vec<SourceDesc>,
+    seeds: Vec<NodeSeeds>,
+    summaries: Vec<FnSummary>,
+}
+
+impl<'a> Dataflow<'a> {
+    pub fn run(
+        units: &'a [Unit<'a>],
+        files: &'a [&'a File],
+        resolver: &'a Resolver,
+        cg: &'a CallGraph,
+    ) -> Vec<Finding> {
+        let mut df = Dataflow {
+            units,
+            files,
+            resolver,
+            cg,
+            sources: Vec::new(),
+            seeds: Vec::new(),
+            summaries: vec![FnSummary::default(); cg.nodes.len()],
+        };
+        df.collect_sources();
+        df.fixpoint();
+        df.report()
+    }
+
+    fn scope_of(&self, id: usize) -> Option<(FnScope<'_>, &Body)> {
+        let node = &self.cg.nodes[id];
+        let f = fn_def(self.files[node.file], node.loc)?;
+        let body = f.body.as_ref()?;
+        Some((FnScope { self_ty: node.self_ty.as_deref(), f }, body))
+    }
+
+    /// Pre-pass: build the global source table and per-node seeds.
+    fn collect_sources(&mut self) {
+        for id in 0..self.cg.nodes.len() {
+            let mut seeds = NodeSeeds::default();
+            let node = &self.cg.nodes[id];
+            let fi = node.file;
+            if let Some((scope, body)) = self.scope_of(id) {
+                let mut srcs: Vec<SourceDesc> = Vec::new();
+                let mut push_pos = |srcs: &mut Vec<SourceDesc>, pos, line, what: String| {
+                    seeds.at_pos.push((pos, self.sources.len() + srcs.len()));
+                    srcs.push(SourceDesc { rule: "determinism-taint", file: fi, line, what });
+                };
+                for call in &body.path_calls {
+                    let segs: Vec<&str> = call.segments.iter().map(String::as_str).collect();
+                    let what = match segs.as_slice() {
+                        [.., ty @ ("Instant" | "SystemTime"), "now"] => {
+                            Some(format!("wall-clock read `{ty}::now()`"))
+                        }
+                        [.., "thread_rng"] => Some("unseeded RNG `thread_rng()`".to_string()),
+                        [.., ty, "from_entropy"] => {
+                            Some(format!("unseeded RNG `{ty}::from_entropy()`"))
+                        }
+                        [.., "rand", "random"] => Some("unseeded RNG `rand::random()`".to_string()),
+                        [.., "thread", "current"] => {
+                            Some("thread-id read `thread::current()`".to_string())
+                        }
+                        [.., "current_thread_index"] => {
+                            Some("thread-id read `current_thread_index()`".to_string())
+                        }
+                        _ => None,
+                    };
+                    if let Some(what) = what {
+                        push_pos(&mut srcs, call.pos, call.line, what);
+                    }
+                }
+                for mc in &body.method_calls {
+                    // Float reduction over a parallel sequence: the
+                    // combination order is scheduler-dependent. Positive
+                    // float proof comes from the turbofish (`.sum::<f64>()`)
+                    // — the unproven rest is D8's to complain about.
+                    if REDUCERS.contains(&mc.name.as_str()) {
+                        let info = self.resolver.chain_source(fi, &scope, &mc.receiver);
+                        let float = mc
+                            .turbofish
+                            .as_ref()
+                            .is_some_and(|t| matches!(t.base.as_str(), "f32" | "f64"));
+                        if info.parallel && float {
+                            push_pos(
+                                &mut srcs,
+                                mc.pos,
+                                mc.line,
+                                format!("float `{}` over a parallel sequence", mc.name),
+                            );
+                        }
+                    }
+                    // D13: mutable captures written inside a closure that
+                    // runs on the parallel executor.
+                    if is_parallel_call(&mc.name, &mc.receiver.methods) {
+                        for w in &mc.closure_writes {
+                            seeds
+                                .keyed
+                                .push((UseRef::Ident(w.clone()), self.sources.len() + srcs.len()));
+                            srcs.push(SourceDesc {
+                                rule: "shared-mut-parallel",
+                                file: fi,
+                                line: mc.line,
+                                what: format!(
+                                    "mutable capture `{w}` written inside a parallel closure"
+                                ),
+                            });
+                        }
+                        // Interior-mutable shared state moved into the
+                        // closure: Rc/RefCell/Cell are not Sync idioms.
+                        for u in &mc.arg_uses {
+                            let UseRef::Ident(name) = u else { continue };
+                            let ty = self.resolver.base_ty(
+                                fi,
+                                &scope,
+                                &ChainBase::Ident(name.clone()),
+                                mc.line,
+                            );
+                            if matches!(ty.base.as_str(), "Rc" | "RefCell" | "Cell") {
+                                seeds.keyed.push((u.clone(), self.sources.len() + srcs.len()));
+                                srcs.push(SourceDesc {
+                                    rule: "shared-mut-parallel",
+                                    file: fi,
+                                    line: mc.line,
+                                    what: format!(
+                                        "shared interior-mutable `{name}` (`{}`) used inside a \
+                                         parallel closure",
+                                        ty.base
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                // Iteration-order laundering: a local bound to a value
+                // that depends on unordered-container iteration order.
+                for l in &body.locals {
+                    let Some(init) = &l.init else { continue };
+                    let info = self.resolver.chain_source(fi, &scope, init);
+                    if info.tainted_order {
+                        seeds
+                            .keyed
+                            .push((UseRef::Ident(l.name.clone()), self.sources.len() + srcs.len()));
+                        srcs.push(SourceDesc {
+                            rule: "determinism-taint",
+                            file: fi,
+                            line: l.line,
+                            what: format!(
+                                "iteration-order-dependent value `{}` (derived from an \
+                                 unordered container)",
+                                l.name
+                            ),
+                        });
+                    }
+                }
+                self.sources.extend(srcs);
+            }
+            self.seeds.push(seeds);
+        }
+    }
+
+    /// Interprocedural fixpoint: recompute all summaries until stable.
+    fn fixpoint(&mut self) {
+        for _ in 0..INTER_ROUNDS {
+            let mut changed = false;
+            for id in 0..self.cg.nodes.len() {
+                let Some(result) = self.analyze(id) else { continue };
+                let (taint, traces) = result;
+                let next = self.summarize(id, &taint, &traces);
+                if next != self.summaries[id] {
+                    self.summaries[id] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Run the intra-body taint propagation for one node against the
+    /// current summaries. Returns the final taint map and traces.
+    fn analyze(&self, id: usize) -> Option<(Taint, Traces)> {
+        let (_, body) = self.scope_of(id)?;
+        let seeds = &self.seeds[id];
+        let mut taint: Taint = BTreeMap::new();
+        let mut traces: Traces = BTreeMap::new();
+        // Params carry the Args origin so summaries can map caller
+        // arguments through this body.
+        if let Some(f) = fn_def(self.files[self.cg.nodes[id].file], self.cg.nodes[id].loc) {
+            for (pname, _) in &f.params {
+                if !pname.is_empty() {
+                    taint.entry(UseRef::Ident(pname.clone())).or_default().insert(Origin::Args);
+                }
+            }
+        }
+        for (key, sid) in &seeds.keyed {
+            taint.entry(key.clone()).or_default().insert(Origin::Source(*sid));
+            traces.entry((key.clone(), *sid)).or_default();
+        }
+
+        // Per-call-site value taint, refreshed each pass.
+        let mut call_vals: BTreeMap<usize, BTreeSet<Origin>> = BTreeMap::new();
+        for _ in 0..INTRA_PASSES {
+            let mut changed = false;
+            self.eval_calls(id, body, &taint, &mut call_vals);
+            // Events in token order: lets, assigns interleaved.
+            let mut events: Vec<Event> = Vec::new();
+            for l in &body.locals {
+                events.push((l.rhs.0, UseRef::Ident(l.name.clone()), l.rhs, &l.uses, l.line));
+            }
+            for a in &body.assigns {
+                let key = match &a.target {
+                    AssignTarget::Local(n) => UseRef::Ident(n.clone()),
+                    AssignTarget::SelfField(f) => UseRef::SelfField(f.clone()),
+                };
+                events.push((a.pos, key, a.rhs, &a.uses, a.line));
+            }
+            // Mutating method calls feed argument taint back into the
+            // receiver (`out.push(tainted)`).
+            for mc in &body.method_calls {
+                if !MUT_METHODS.contains(&mc.name.as_str()) {
+                    continue;
+                }
+                let key = match &mc.receiver.base {
+                    ChainBase::Ident(n) => UseRef::Ident(n.clone()),
+                    ChainBase::SelfField(fs) if !fs.is_empty() => UseRef::SelfField(fs[0].clone()),
+                    _ => continue,
+                };
+                events.push((mc.pos, key, mc.args, &mc.arg_uses, mc.line));
+            }
+            events.sort_by_key(|e| e.0);
+            for (_, key, span, uses, line) in events {
+                let (origins, hops) =
+                    self.flow_into(&taint, &traces, seeds, &call_vals, uses, span);
+                if origins.is_empty() {
+                    continue;
+                }
+                let entry = taint.entry(key.clone()).or_default();
+                for o in &origins {
+                    if entry.insert(*o) {
+                        changed = true;
+                    }
+                    if let Origin::Source(sid) = o {
+                        traces.entry((key.clone(), *sid)).or_insert_with(|| {
+                            let mut t = hops.get(sid).cloned().unwrap_or_default();
+                            if t.len() < VIA_CAP {
+                                t.push(format!("`{}` (line {line})", key_name(&key)));
+                            }
+                            t
+                        });
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Some((taint, traces))
+    }
+
+    /// Compute the value taint of every call site from receiver taint
+    /// and callee summaries.
+    fn eval_calls(
+        &self,
+        id: usize,
+        body: &Body,
+        taint: &Taint,
+        call_vals: &mut BTreeMap<usize, BTreeSet<Origin>>,
+    ) {
+        for mc in &body.method_calls {
+            let mut val = BTreeSet::new();
+            // A method's value derives from its receiver.
+            let key = match &mc.receiver.base {
+                ChainBase::Ident(n) => Some(UseRef::Ident(n.clone())),
+                ChainBase::SelfField(fs) if !fs.is_empty() => {
+                    Some(UseRef::SelfField(fs[0].clone()))
+                }
+                _ => None,
+            };
+            if let Some(k) = key {
+                if let Some(set) = taint.get(&k) {
+                    val.extend(set.iter().copied());
+                }
+            }
+            self.apply_summaries(id, mc.pos, mc.args, &mc.arg_uses, taint, &mut val);
+            call_vals.insert(mc.pos, val);
+        }
+        for pc in &body.path_calls {
+            let mut val = BTreeSet::new();
+            self.apply_summaries(id, pc.pos, pc.args, &pc.arg_uses, taint, &mut val);
+            call_vals.insert(pc.pos, val);
+        }
+    }
+
+    /// Fold callee return summaries into a call site's value taint.
+    fn apply_summaries(
+        &self,
+        id: usize,
+        pos: usize,
+        args: (usize, usize),
+        arg_uses: &[UseRef],
+        taint: &Taint,
+        val: &mut BTreeSet<Origin>,
+    ) {
+        let targets = self.cg.targets_at(id, pos);
+        if targets.is_empty() {
+            return;
+        }
+        let mut arg_taint = BTreeSet::new();
+        for u in arg_uses {
+            if let Some(set) = taint.get(u) {
+                arg_taint.extend(set.iter().copied());
+            }
+        }
+        for &(p, sid) in &self.seeds[id].at_pos {
+            if p >= args.0 && p < args.1 {
+                arg_taint.insert(Origin::Source(sid));
+            }
+        }
+        for &t in targets {
+            let s = &self.summaries[t];
+            val.extend(s.ret_sources.iter().map(|&sid| Origin::Source(sid)));
+            if s.ret_from_args {
+                val.extend(arg_taint.iter().copied());
+            }
+        }
+    }
+
+    /// Taint flowing into a def site: named uses + positional sources +
+    /// call values within the rhs span. Returns the origin set and, per
+    /// source id, the trace hops accumulated so far.
+    fn flow_into(
+        &self,
+        taint: &Taint,
+        traces: &Traces,
+        seeds: &NodeSeeds,
+        call_vals: &BTreeMap<usize, BTreeSet<Origin>>,
+        uses: &[UseRef],
+        span: (usize, usize),
+    ) -> (BTreeSet<Origin>, BTreeMap<usize, Vec<String>>) {
+        let mut origins = BTreeSet::new();
+        let mut hops: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for u in uses {
+            if let Some(set) = taint.get(u) {
+                for o in set {
+                    origins.insert(*o);
+                    if let Origin::Source(sid) = o {
+                        if let Some(t) = traces.get(&(u.clone(), *sid)) {
+                            hops.entry(*sid).or_insert_with(|| t.clone());
+                        }
+                    }
+                }
+            }
+        }
+        for &(p, sid) in &seeds.at_pos {
+            if p >= span.0 && p < span.1 {
+                origins.insert(Origin::Source(sid));
+                hops.entry(sid).or_default();
+            }
+        }
+        for (&p, set) in call_vals {
+            if p >= span.0 && p < span.1 {
+                origins.extend(set.iter().copied());
+                for o in set {
+                    if let Origin::Source(sid) = o {
+                        hops.entry(*sid).or_default();
+                    }
+                }
+            }
+        }
+        (origins, hops)
+    }
+
+    /// Sinks inside one body, with the origins that reach them.
+    fn sink_hits(&self, id: usize, taint: &Taint, traces: &Traces) -> Vec<SinkHit> {
+        let Some((scope, body)) = self.scope_of(id) else { return Vec::new() };
+        let fi = self.cg.nodes[id].file;
+        let seeds = &self.seeds[id];
+        let mut call_vals = BTreeMap::new();
+        self.eval_calls(id, body, taint, &mut call_vals);
+        let mut hits = Vec::new();
+        let mut push =
+            |line: u32, what: String, flow: (BTreeSet<Origin>, BTreeMap<usize, Vec<String>>)| {
+                let (origins, hops) = flow;
+                if !origins.is_empty() {
+                    hits.push(SinkHit { line, what, origins, hops });
+                }
+            };
+        for sl in &body.struct_lits {
+            if SINK_TYPES.contains(&sl.name.as_str()) {
+                push(
+                    sl.line,
+                    format!("construction of `{}`", sl.name),
+                    self.flow_into(taint, traces, seeds, &call_vals, &sl.uses, sl.span),
+                );
+            }
+        }
+        for mc in &body.method_calls {
+            let recv_ty = self.resolver.base_ty(fi, &scope, &mc.receiver.base, mc.line);
+            let is_sink_recv = SINK_RECEIVERS.contains(&recv_ty.base.as_str())
+                || self.resolver.classify(fi, &recv_ty) == TyClass::TelHandle;
+            if is_sink_recv || SINK_FNS.contains(&mc.name.as_str()) {
+                let what = if is_sink_recv {
+                    format!("`{}::{}` serialization", recv_ty.base, mc.name)
+                } else {
+                    format!("serialization via `{}`", mc.name)
+                };
+                push(
+                    mc.line,
+                    what,
+                    self.flow_into(taint, traces, seeds, &call_vals, &mc.arg_uses, mc.args),
+                );
+            }
+        }
+        for pc in &body.path_calls {
+            if let Some(last) = pc.segments.last() {
+                if SINK_FNS.contains(&last.as_str()) {
+                    push(
+                        pc.line,
+                        format!("serialization via `{last}`"),
+                        self.flow_into(taint, traces, seeds, &call_vals, &pc.arg_uses, pc.args),
+                    );
+                }
+            }
+        }
+        hits
+    }
+
+    /// Build the node's summary from its final taint map: return taint
+    /// and argument→sink flows (direct and through callees).
+    fn summarize(&self, id: usize, taint: &Taint, traces: &Traces) -> FnSummary {
+        let mut sum = FnSummary::default();
+        let Some((_, body)) = self.scope_of(id) else { return sum };
+        let seeds = &self.seeds[id];
+        let mut call_vals = BTreeMap::new();
+        self.eval_calls(id, body, taint, &mut call_vals);
+        for r in &body.returns {
+            let (origins, _) = self.flow_into(taint, traces, seeds, &call_vals, &r.uses, r.rhs);
+            for o in origins {
+                match o {
+                    Origin::Source(sid) => {
+                        sum.ret_sources.insert(sid);
+                    }
+                    Origin::Args => sum.ret_from_args = true,
+                }
+            }
+        }
+        let label = self.cg.nodes[id].label();
+        for hit in self.sink_hits(id, taint, traces) {
+            if hit.origins.contains(&Origin::Args) {
+                let fi = self.cg.nodes[id].file;
+                sum.arg_sinks
+                    .entry((fi, hit.line, hit.what.clone()))
+                    .or_insert_with(|| vec![label.clone()]);
+            }
+        }
+        // Tainted arguments handed to a callee whose arguments reach a
+        // sink: extend the callee chain upward.
+        self.each_call_flow(id, body, taint, seeds, |arg_origins, callee, site_line: u32| {
+            let _ = site_line;
+            if !arg_origins.contains(&Origin::Args) {
+                return;
+            }
+            for (skey, via) in &self.summaries[callee].arg_sinks {
+                if via.len() >= VIA_CAP {
+                    continue;
+                }
+                sum.arg_sinks.entry(skey.clone()).or_insert_with(|| {
+                    let mut v = vec![label.clone()];
+                    v.extend(via.iter().cloned());
+                    v
+                });
+            }
+        });
+        sum
+    }
+
+    /// Visit every call site with resolved targets, handing the callback
+    /// the argument origin set per callee.
+    fn each_call_flow(
+        &self,
+        id: usize,
+        body: &Body,
+        taint: &Taint,
+        seeds: &NodeSeeds,
+        mut f: impl FnMut(&BTreeSet<Origin>, usize, u32),
+    ) {
+        let mut visit = |pos: usize, args: (usize, usize), arg_uses: &[UseRef], line: u32| {
+            let targets = self.cg.targets_at(id, pos);
+            if targets.is_empty() {
+                return;
+            }
+            let mut arg_taint = BTreeSet::new();
+            for u in arg_uses {
+                if let Some(set) = taint.get(u) {
+                    arg_taint.extend(set.iter().copied());
+                }
+            }
+            for &(p, sid) in &seeds.at_pos {
+                if p >= args.0 && p < args.1 {
+                    arg_taint.insert(Origin::Source(sid));
+                }
+            }
+            if arg_taint.is_empty() {
+                return;
+            }
+            for &t in targets {
+                f(&arg_taint, t, line);
+            }
+        };
+        for mc in &body.method_calls {
+            visit(mc.pos, mc.args, &mc.arg_uses, mc.line);
+        }
+        for pc in &body.path_calls {
+            visit(pc.pos, pc.args, &pc.arg_uses, pc.line);
+        }
+    }
+
+    /// Final pass: emit findings for source-origin taint reaching sinks,
+    /// both intra-fn and through call boundaries.
+    fn report(&self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for id in 0..self.cg.nodes.len() {
+            let node = &self.cg.nodes[id];
+            if node.cfg_test {
+                continue;
+            }
+            let unit = &self.units[node.file];
+            let Some(ctx) = unit.ctx else { continue };
+            let Some((taint, traces)) = self.analyze(id) else { continue };
+            // Intra-fn: sink inside this body reached by a source.
+            for hit in self.sink_hits(id, &taint, &traces) {
+                for o in &hit.origins {
+                    let Origin::Source(sid) = o else { continue };
+                    let src = &self.sources[*sid];
+                    if !ctx.rule_applies(src.rule) {
+                        continue;
+                    }
+                    let hops = hit.hops.get(sid).map(Vec::as_slice).unwrap_or(&[]);
+                    let path = if hops.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" flows via {}", hops.join(" -> "))
+                    };
+                    findings.push(Finding {
+                        file: unit.rel.to_string(),
+                        line: hit.line,
+                        rule: src.rule,
+                        message: format!(
+                            "{} ({}:{}){path} into {} in `{}`; a nondeterministic value \
+                             must not reach result records or serialized output",
+                            src.what,
+                            self.units[src.file].rel,
+                            src.line,
+                            hit.what,
+                            node.label(),
+                        ),
+                    });
+                }
+            }
+            // Cross-fn: tainted argument into a callee whose arguments
+            // reach a sink. Reported at the call site so the waiver can
+            // anchor where the value crosses the boundary.
+            let Some((_, body)) = self.scope_of(id) else { continue };
+            self.each_call_flow(id, body, &taint, &self.seeds[id], |arg_origins, callee, line| {
+                for o in arg_origins {
+                    let Origin::Source(sid) = o else { continue };
+                    let src = &self.sources[*sid];
+                    if !ctx.rule_applies(src.rule) {
+                        continue;
+                    }
+                    for ((sfile, sline, what), via) in &self.summaries[callee].arg_sinks {
+                        findings.push(Finding {
+                            file: unit.rel.to_string(),
+                            line,
+                            rule: src.rule,
+                            message: format!(
+                                "{} ({}:{}) is passed to `{}` and reaches {} ({}:{}) via {}",
+                                src.what,
+                                self.units[src.file].rel,
+                                src.line,
+                                self.cg.nodes[callee].label(),
+                                what,
+                                self.units[*sfile].rel,
+                                sline,
+                                via.join(" -> "),
+                            ),
+                        });
+                    }
+                }
+            });
+        }
+        findings
+    }
+}
+
+fn key_name(key: &Key) -> String {
+    match key {
+        UseRef::Ident(n) => n.clone(),
+        UseRef::SelfField(f) => format!("self.{f}"),
+    }
+}
+
+/// Does this method call hand its closure to the parallel executor?
+fn is_parallel_call(name: &str, receiver_methods: &[String]) -> bool {
+    name == "spawn"
+        || name.starts_with("run_matrix")
+        || PAR_METHODS.contains(&name)
+        || receiver_methods.iter().any(|m| PAR_METHODS.contains(&m.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::rules::FileCtx;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let parsed: Vec<(String, crate::ast::File)> =
+            srcs.iter().map(|(rel, s)| (rel.to_string(), parse(&lex(s)).0)).collect();
+        let files: Vec<&File> = parsed.iter().map(|(_, f)| f).collect();
+        let ctxs: Vec<Option<FileCtx>> =
+            parsed.iter().map(|(rel, _)| FileCtx::from_rel_path(rel)).collect();
+        let units: Vec<Unit<'_>> = parsed
+            .iter()
+            .zip(&ctxs)
+            .map(|((rel, f), ctx)| Unit { rel, ctx: ctx.as_ref(), file: f })
+            .collect();
+        let resolver = Resolver::new(&files);
+        let cg = CallGraph::build(&files, &resolver);
+        Dataflow::run(&units, &files, &resolver, &cg)
+    }
+
+    #[test]
+    fn wall_clock_laundered_through_locals_reaches_struct_sink() {
+        let f = run(&[(
+            "crates/workloads/src/m.rs",
+            "pub struct RunManifest { pub wall: f64 }\n\
+             fn record() -> RunManifest {\n\
+               let started = Instant::now();\n\
+               let secs = started.elapsed().as_secs_f64();\n\
+               RunManifest { wall: secs }\n\
+             }\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "determinism-taint");
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("wall-clock read `Instant::now()`"), "{}", f[0].message);
+        assert!(f[0].message.contains("`started`"), "path hops: {}", f[0].message);
+        assert!(f[0].message.contains("`secs`"), "path hops: {}", f[0].message);
+    }
+
+    #[test]
+    fn taint_crosses_function_returns() {
+        let f = run(&[(
+            "crates/workloads/src/m.rs",
+            "pub struct RunRecord { pub t: f64 }\n\
+             fn stamp() -> f64 { SystemTime::now().secs() }\n\
+             fn record() -> RunRecord {\n\
+               let t = stamp();\n\
+               RunRecord { t }\n\
+             }\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("SystemTime::now"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn tainted_argument_reaches_sink_in_callee() {
+        let f = run(&[(
+            "crates/workloads/src/m.rs",
+            "pub struct RunRecord { pub t: f64 }\n\
+             fn emit(v: f64) -> RunRecord { RunRecord { t: v } }\n\
+             fn record() {\n\
+               let t0 = Instant::now();\n\
+               emit(t0.as_secs());\n\
+             }\n",
+        )]);
+        assert!(
+            f.iter().any(|x| x.rule == "determinism-taint"
+                && x.line == 5
+                && x.message.contains("passed to `emit`")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn untainted_flows_stay_silent() {
+        let f = run(&[(
+            "crates/workloads/src/m.rs",
+            "pub struct RunRecord { pub t: f64 }\n\
+             fn record(cycles: u64) -> RunRecord {\n\
+               let t = cycles as f64;\n\
+               RunRecord { t }\n\
+             }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn order_tainted_collect_flags_and_order_free_count_does_not() {
+        let f = run(&[(
+            "crates/simcore/src/m.rs",
+            "use std::collections::HashMap;\n\
+             pub struct SimResult { pub ks: Vec<u64>, pub n: usize }\n\
+             fn snapshot(m: &HashMap<u64, u64>) -> SimResult {\n\
+               let ks = m.keys().collect();\n\
+               let n = m.keys().count();\n\
+               SimResult { ks, n }\n\
+             }\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("iteration-order-dependent"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn mutable_capture_in_parallel_closure_reaching_record_is_d13() {
+        let f = run(&[(
+            "crates/workloads/src/m.rs",
+            "pub struct RunRecord { pub xs: Vec<u64> }\n\
+             fn sweep(points: &Vec<u64>) -> RunRecord {\n\
+               let mut xs = Vec::new();\n\
+               points.par_iter().for_each(|p| { xs.push(*p); });\n\
+               RunRecord { xs }\n\
+             }\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "shared-mut-parallel");
+        assert!(f[0].message.contains("mutable capture `xs`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_recursive_calls() {
+        let f = run(&[(
+            "crates/workloads/src/m.rs",
+            "pub struct RunRecord { pub t: f64 }\n\
+             fn a(v: f64) -> RunRecord { b(v) }\n\
+             fn b(v: f64) -> RunRecord { a(v) }\n\
+             fn go() { a(Instant::now().secs()); }\n",
+        )]);
+        // Mutual recursion with no sink: converges, nothing to report.
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

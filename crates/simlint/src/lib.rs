@@ -26,6 +26,7 @@
 
 pub mod ast;
 pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
 pub mod parser;
 pub mod resolve;
@@ -146,7 +147,11 @@ impl Workspace {
             })
             .collect();
         findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-        findings.dedup();
+        // Collapse same-(rule, file, line) duplicates (e.g. the call
+        // graph's name fallback resolving one call to several targets
+        // reports the same site once per target) — first message wins,
+        // which after the sort is deterministic.
+        findings.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
         findings
     }
 
@@ -218,6 +223,71 @@ pub fn findings_to_json(findings: &[Finding]) -> String {
     out.push(']');
     out.push('\n');
     out
+}
+
+/// Render findings as a SARIF 2.1.0 log (hand-rolled like the JSON
+/// renderer). One run, one driver (`simlint`); every waivable rule plus
+/// the three meta rules appears in the rule table so code-scanning UIs
+/// can show descriptions even for rules with no findings.
+pub fn findings_to_sarif(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let meta_rules: [(&str, &str); 3] = [
+        ("parse-error", "simlint's own parser must read every owned file (not waivable)"),
+        ("waiver-syntax", "a malformed waiver is itself a violation (not waivable)"),
+        ("stale-waiver", "waiver with no live finding (--audit-waivers)"),
+    ];
+    let mut rules_json: Vec<String> = RULES
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+                esc(r),
+                esc(rules::describe(r))
+            )
+        })
+        .collect();
+    for (id, desc) in meta_rules {
+        rules_json.push(format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            esc(id),
+            esc(desc)
+        ));
+    }
+    let results: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+                 \"region\":{{\"startLine\":{}}}}}}}]}}",
+                esc(f.rule),
+                esc(&f.message),
+                esc(&f.file),
+                f.line.max(1)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"simlint\",\
+         \"rules\":[{}]}}}},\
+         \"results\":[{}]}}]}}\n",
+        rules_json.join(","),
+        results.join(",")
+    )
 }
 
 /// Lint one file on disk. `root` anchors the workspace-relative path used

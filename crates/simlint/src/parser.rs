@@ -31,6 +31,25 @@ fn is_keyword(s: &str) -> bool {
     KEYWORDS.contains(&s)
 }
 
+/// Methods that mutate their receiver in place — used to detect mutable
+/// captures inside closure arguments (`out.push(x)` in a `par_iter`
+/// closure).
+pub(crate) const MUT_METHODS: [&str; 13] = [
+    "push",
+    "push_back",
+    "push_front",
+    "push_str",
+    "insert",
+    "remove",
+    "extend",
+    "clear",
+    "pop",
+    "truncate",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+];
+
 /// Keywords that may still *start* an expression chain (`self.f`,
 /// `crate::path::fn()`).
 fn chain_base_ok(s: &str) -> bool {
@@ -775,7 +794,7 @@ impl<'a> Parser<'a> {
         let body = match self.text(self.pos) {
             "{" => {
                 let close = self.close_of(self.pos);
-                let b = self.scan_body(self.pos + 1, close);
+                let b = self.scan_body(self.pos + 1, close, ret.is_some());
                 self.pos = close + 1;
                 Some(b)
             }
@@ -963,8 +982,10 @@ impl<'a> Parser<'a> {
     // -- body fact scanning ----------------------------------------------
 
     /// Forward scan of a fn body extracting the fact lists. Closure
-    /// bodies are scanned flat as part of the enclosing fn.
-    fn scan_body(&mut self, start: usize, end: usize) -> Body {
+    /// bodies are scanned flat as part of the enclosing fn. `has_ret`
+    /// enables tail-expression extraction (unit fns return nothing worth
+    /// tracking).
+    fn scan_body(&mut self, start: usize, end: usize, has_ret: bool) -> Body {
         let mut b = Body { span: (start, end), ..Body::default() };
         let mut i = start;
         while i < end {
@@ -975,6 +996,16 @@ impl<'a> Parser<'a> {
                         b.locals.push(local);
                         i = next;
                         continue;
+                    }
+                }
+                "return" => {
+                    let rhs_end = self.stmt_end(i + 1, end);
+                    if rhs_end > i + 1 {
+                        b.returns.push(ReturnSite {
+                            line: t.line,
+                            rhs: (i + 1, rhs_end),
+                            uses: self.collect_uses(i + 1, rhs_end),
+                        });
                     }
                 }
                 "for" => {
@@ -1003,11 +1034,74 @@ impl<'a> Parser<'a> {
                     if prev_is_expr {
                         let div_at = if self.text(i + 1) == "=" { i + 1 } else { i };
                         b.div_sites.push(self.make_div_site(i, div_at + 1, end));
+                        // `%` is also a unit-sensitive op (modulo-set-indexing
+                        // shape); `/` is exempt — ratios mix units by design.
+                        if t.text == "%" && self.text(i + 1) != "=" {
+                            if let Some(site) = self.make_binop("%", i, i + 1, start, end) {
+                                b.binops.push(site);
+                            }
+                        }
                     }
                 }
                 "+" | "*" if self.text(i + 1) == "=" => {
                     if let Some(site) = self.make_accum_site(start, i, end) {
                         b.accum_sites.push(site);
+                    }
+                }
+                "+" | "-" if self.text(i + 1) != "=" && self.text(i + 1) != ">" => {
+                    let prev = self.text(i.wrapping_sub(1));
+                    let prev_is_expr = i > start
+                        && (matches!(prev, ")" | "]")
+                            || self.toks.get(i - 1).is_some_and(|p| p.kind == TokKind::Num)
+                            || (self.is_ident(i - 1) && !is_keyword(prev)));
+                    if prev_is_expr {
+                        if let Some(site) = self.make_binop(&t.text.clone(), i, i + 1, start, end) {
+                            b.binops.push(site);
+                        }
+                    }
+                }
+                "=" if self.text(i + 1) == "=" => {
+                    // Equality: recorded once at the first `=`.
+                    let prev = self.text(i.wrapping_sub(1));
+                    if i > start && !matches!(prev, "=" | "<" | ">" | "!") {
+                        if let Some(site) = self.make_binop("==", i, i + 2, start, end) {
+                            b.binops.push(site);
+                        }
+                    }
+                }
+                "=" => {
+                    let prev = self.text(i.wrapping_sub(1));
+                    if i > start
+                        && !matches!(prev, "=" | "<" | ">" | "!" | ".")
+                        && self.text(i + 1) != ">"
+                    {
+                        // Assignment (plain or compound — both only ever
+                        // *add* to the target for taint purposes).
+                        let compound =
+                            matches!(prev, "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^");
+                        let target_end = if compound { i.wrapping_sub(2) } else { i - 1 };
+                        if let Some(target) = self.assign_target(target_end, start) {
+                            let rhs_end = self.stmt_end(i + 1, end);
+                            b.assigns.push(AssignSite {
+                                line: t.line,
+                                pos: i,
+                                target,
+                                rhs: (i + 1, rhs_end),
+                                uses: self.collect_uses(i + 1, rhs_end),
+                            });
+                        }
+                    }
+                }
+                "!" if self.text(i + 1) == "=" => {
+                    let prev = self.text(i.wrapping_sub(1));
+                    let prev_is_expr = i > start
+                        && (matches!(prev, ")" | "]")
+                            || self.toks.get(i - 1).is_some_and(|p| p.kind == TokKind::Num)
+                            || (self.is_ident(i - 1) && !is_keyword(prev)));
+                    if prev_is_expr {
+                        if let Some(site) = self.make_binop("!=", i, i + 2, start, end) {
+                            b.binops.push(site);
+                        }
                     }
                 }
                 "!" if self.is_ident(i.wrapping_sub(1))
@@ -1033,7 +1127,14 @@ impl<'a> Parser<'a> {
                         let segments = self.path_back(name_at, start);
                         // Turbofish method call `x.collect::<T>()` puts
                         // `(` after `>`; handled below at `>`+`(`.
-                        b.path_calls.push(PathCall { segments, line: t.line });
+                        let close = self.close_of(i);
+                        b.path_calls.push(PathCall {
+                            segments,
+                            line: t.line,
+                            pos: name_at,
+                            args: (i + 1, close),
+                            arg_uses: self.collect_uses(i + 1, close),
+                        });
                     }
                 }
                 ">" if self.text(i + 1) == "(" => {
@@ -1049,11 +1150,277 @@ impl<'a> Parser<'a> {
                         }
                     }
                 }
+                "<" | ">" => {
+                    // Comparison site — generics, shifts, arrows, and
+                    // turbofish excluded; residual generic noise is
+                    // harmless because D12 only fires on classified
+                    // operands.
+                    let sym = t.text.as_str();
+                    let prev = self.text(i.wrapping_sub(1));
+                    let next = self.text(i + 1);
+                    let excluded = prev == sym
+                        || next == sym
+                        || (sym == ">" && prev == "-")
+                        || (sym == "<" && prev == ":");
+                    let prev_is_expr = i > start
+                        && (matches!(prev, ")" | "]")
+                            || self.toks.get(i - 1).is_some_and(|p| p.kind == TokKind::Num)
+                            || (self.is_ident(i - 1) && !is_keyword(prev)));
+                    if !excluded && prev_is_expr {
+                        let (op, rhs_start): (String, usize) = if next == "=" {
+                            (format!("{sym}="), i + 2)
+                        } else {
+                            (sym.to_string(), i + 1)
+                        };
+                        if let Some(site) = self.make_binop(&op, i, rhs_start, start, end) {
+                            b.binops.push(site);
+                        }
+                    }
+                }
+                "{" if i > start && self.is_ident(i.wrapping_sub(1)) => {
+                    let name_at = i - 1;
+                    let name = self.toks[name_at].text.clone();
+                    let starts_upper = name.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+                    let before = self.text(name_at.wrapping_sub(1));
+                    let ret_ty_pos = before == ">" && self.text(name_at.wrapping_sub(2)) == "-";
+                    if starts_upper
+                        && !is_keyword(&name)
+                        && !ret_ty_pos
+                        && !matches!(before, "let" | "match" | "in" | ".")
+                    {
+                        let close = self.close_of(i).min(end);
+                        // `Name { .. } =>` / `Name { .. } if .. =>` is a
+                        // match-arm pattern, not a construction.
+                        let arm_pattern = (self.text(close + 1) == "="
+                            && self.text(close + 2) == ">")
+                            || self.text(close + 1) == "if";
+                        if !arm_pattern && self.looks_like_struct_lit(i + 1, close) {
+                            b.struct_lits.push(StructLit {
+                                name,
+                                line: t.line,
+                                span: (i + 1, close),
+                                uses: self.collect_uses(i + 1, close),
+                            });
+                        }
+                    }
+                }
                 _ => {}
             }
             i += 1;
         }
+        if has_ret {
+            // Tail expression: the last top-level statement without a
+            // trailing `;`. A statement-position block (`if`/`match`/loop
+            // bodies) also starts a new statement unless the next token
+            // continues the expression.
+            let mut last_start = start;
+            let mut m = start;
+            while m < end {
+                match self.text(m) {
+                    "(" | "[" => m = self.close_of(m) + 1,
+                    "{" => {
+                        let c = self.close_of(m);
+                        m = c + 1;
+                        if m < end
+                            && !matches!(self.text(m), "else" | "." | "?" | ";" | "," | ")" | "]")
+                        {
+                            last_start = m;
+                        }
+                    }
+                    ";" => {
+                        last_start = m + 1;
+                        m += 1;
+                    }
+                    _ => m += 1,
+                }
+            }
+            if last_start < end {
+                b.returns.push(ReturnSite {
+                    line: self.line(last_start),
+                    rhs: (last_start, end),
+                    uses: self.collect_uses(last_start, end),
+                });
+            }
+        }
         b
+    }
+
+    /// End of the statement-expression starting at `from`: the next `;`
+    /// or `,` at depth 0, or an unmatched closer, bounded by `end`.
+    fn stmt_end(&self, from: usize, end: usize) -> usize {
+        let mut m = from;
+        while m < end {
+            match self.text(m) {
+                "(" | "[" | "{" => m = self.close_of(m),
+                ";" | "," | ")" | "]" | "}" => return m,
+                _ => {}
+            }
+            m += 1;
+        }
+        end
+    }
+
+    /// Collect the value *reads* inside a token span: plain local/param
+    /// names and `self.field` accesses. Method/field names after `.`,
+    /// path segments, macro names, and annotation/field-name positions
+    /// (`name :`) are excluded. Over-collection (type names, closure
+    /// params) is harmless — taint only flows from names that are
+    /// actually tainted.
+    fn collect_uses(&self, start: usize, end: usize) -> Vec<UseRef> {
+        let mut out = Vec::new();
+        let mut i = start;
+        let end = end.min(self.toks.len());
+        while i < end {
+            let t = &self.toks[i];
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let txt = t.text.as_str();
+            if txt == "self" {
+                if self.text(i + 1) == "." && self.is_ident(i + 2) && self.text(i + 3) != "(" {
+                    out.push(UseRef::SelfField(self.toks[i + 2].text.clone()));
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if is_keyword(txt) {
+                i += 1;
+                continue;
+            }
+            let prev = self.text(i.wrapping_sub(1));
+            let next = self.text(i + 1);
+            let path_seg = prev == ":" && self.text(i.wrapping_sub(2)) == ":";
+            if prev == "." || path_seg || next == "!" || next == ":" {
+                // method/field name, path segment, macro name,
+                // annotation/field-name/path-head position
+                i += 1;
+                continue;
+            }
+            out.push(UseRef::Ident(t.text.clone()));
+            i += 1;
+        }
+        out
+    }
+
+    /// Resolve the *place* ending at token `e` (just before the `=` /
+    /// `op=`) into an assignment-target key, walking `a.b.c`, `self.a`,
+    /// and `x[i]` back to the root. Returns `None` for let-bindings (the
+    /// `Local` fact covers those), type annotations, and complex places
+    /// taint cannot key (`*guard = ..`, `f().x = ..`).
+    fn assign_target(&self, mut e: usize, lo: usize) -> Option<AssignTarget> {
+        // Strip trailing index groups: `x[i] = ..` keys the container.
+        while self.text(e) == "]" {
+            e = self.open_of(e, lo)?.checked_sub(1)?;
+        }
+        if !self.is_ident(e) || (is_keyword(self.text(e)) && self.text(e) != "self") {
+            return None;
+        }
+        let mut root = e;
+        while root >= lo + 2 && self.text(root - 1) == "." && self.is_ident(root - 2) {
+            root -= 2;
+        }
+        if self.text(root.wrapping_sub(1)) == "." {
+            return None; // rooted in a call result or similar
+        }
+        if root > lo && matches!(self.text(root - 1), "let" | "mut" | ":") {
+            return None; // let-binding or annotation
+        }
+        if self.text(root) == "self" {
+            if root == e {
+                return None;
+            }
+            return Some(AssignTarget::SelfField(self.toks[root + 2].text.clone()));
+        }
+        if is_keyword(self.text(root)) {
+            return None;
+        }
+        Some(AssignTarget::Local(self.toks[root].text.clone()))
+    }
+
+    /// Build a unit-op site when both operands are classifiable places
+    /// (a bare ident / `self.field` path, optionally with one trailing
+    /// `.field` projection) — everything else stays silent.
+    fn make_binop(
+        &self,
+        op: &str,
+        op_at: usize,
+        rhs_start: usize,
+        lo: usize,
+        end: usize,
+    ) -> Option<BinOpSite> {
+        fn classifiable(c: &Chain) -> bool {
+            let place = matches!(c.base, ChainBase::Ident(_) | ChainBase::SelfField(_));
+            place
+                && (c.methods.is_empty() || (c.methods.len() == 1 && c.methods[0].starts_with('.')))
+        }
+        let lhs = self.chain_backward(op_at.wrapping_sub(1), lo);
+        // Bound the RHS at the next top-level operator so `a + b + c`
+        // still yields clean operands per site.
+        let mut stop = rhs_start;
+        while stop < end {
+            match self.text(stop) {
+                "(" | "[" | "{" => stop = self.close_of(stop),
+                "+" | "-" | "*" | "/" | "%" | "<" | ">" | "=" | "!" | "&" | "|" | "^" | ";"
+                | "," | ")" | "]" | "}" => break,
+                _ => {}
+            }
+            stop += 1;
+        }
+        let rhs = self.chain_forward(rhs_start, stop.min(end));
+        if !(classifiable(&lhs) && classifiable(&rhs)) {
+            return None;
+        }
+        // Reject truncated operands: an arithmetic/bitwise neighbor on
+        // either side means this site is a fragment of a larger
+        // expression (`cycles > instr * cpi` must not report as
+        // `cycles > instr`). Comparison neighbors bind looser and leave
+        // the operand complete.
+        const ARITH: [&str; 8] = ["+", "-", "*", "/", "%", "&", "|", "^"];
+        let mut s = op_at.wrapping_sub(1) as isize;
+        while s >= lo as isize && (self.is_ident(s as usize) || self.text(s as usize) == ".") {
+            s -= 1;
+        }
+        if s >= lo as isize && ARITH.contains(&self.text(s as usize)) {
+            return None;
+        }
+        if stop < end && ARITH.contains(&self.text(stop)) {
+            return None;
+        }
+        Some(BinOpSite { line: self.line(op_at), op: op.to_string(), lhs, rhs })
+    }
+
+    /// Distinguish `Name { field: .., .. }` construction from a block
+    /// following an uppercase-ident-ending expression: require a
+    /// depth-0 `field:` / `..` shape, or a shorthand-only body
+    /// (idents and commas), or empty braces.
+    fn looks_like_struct_lit(&self, start: usize, close: usize) -> bool {
+        if close <= start {
+            return true; // `Name {}`
+        }
+        let mut shorthand_only = true;
+        let mut saw_ident = false;
+        let mut k = start;
+        while k < close {
+            match self.text(k) {
+                "(" | "[" | "{" => {
+                    shorthand_only = false;
+                    k = self.close_of(k) + 1;
+                    continue;
+                }
+                ":" if k > start && self.is_ident(k - 1) && self.text(k + 1) != ":" => {
+                    return true; // `field: value`
+                }
+                "." if self.text(k + 1) == "." => return true, // `..base` update
+                "," => {}
+                _ if self.is_ident(k) => saw_ident = true,
+                _ => shorthand_only = false,
+            }
+            k += 1;
+        }
+        shorthand_only && saw_ident
     }
 
     /// `let [mut] name [: ty] [= init] ;` — returns the local plus the
@@ -1094,6 +1461,8 @@ impl<'a> Parser<'a> {
         let mut collect_ty = None;
         let mut bounded_init = false;
         let mut float_init = false;
+        let mut rhs = (k, k);
+        let mut uses = Vec::new();
         if self.text(k) == "=" && self.text(k + 1) != "=" {
             let init_start = k + 1;
             // Statement end: `;` at depth 0 (brackets skipped).
@@ -1107,6 +1476,8 @@ impl<'a> Parser<'a> {
                 m += 1;
             }
             init = Some(self.chain_forward(init_start, m));
+            rhs = (init_start, m.min(end));
+            uses = self.collect_uses(init_start, m.min(end));
             for idx in init_start..m.min(end) {
                 let tk = &self.toks[idx];
                 match tk.text.as_str() {
@@ -1141,7 +1512,7 @@ impl<'a> Parser<'a> {
             }
         }
         Some((
-            Local { name, line, ty, init, collect_ty, bounded_init, float_init },
+            Local { name, line, ty, init, collect_ty, bounded_init, float_init, rhs, uses },
             k, // resume inside the statement so nested facts still scan
         ))
     }
@@ -1305,12 +1676,85 @@ impl<'a> Parser<'a> {
         MethodCall {
             name: self.toks[name_at].text.clone(),
             line: self.toks[name_at].line,
+            pos: name_at,
             receiver,
             turbofish,
             args: (open_paren + 1, close),
             mut_ref_arg,
             closure_self_write,
+            arg_uses: self.collect_uses(open_paren + 1, close),
+            closure_writes: self.closure_captured_writes(open_paren + 1, close),
         }
+    }
+
+    /// Names written inside closure arguments (`x = ..`, `x op= ..`, or
+    /// a mutating call `x.push(..)`) that are not bound inside the
+    /// argument span — i.e. mutable captures of enclosing-scope state.
+    /// Over-*binding* (type names in annotations, `|`-confusion with
+    /// bitwise-or) errs toward silence.
+    fn closure_captured_writes(&self, start: usize, close: usize) -> Vec<String> {
+        if !(start..close).any(|k| self.text(k) == "|") {
+            return Vec::new(); // no closure argument
+        }
+        // Names bound inside the span: closure params + let-bindings
+        // (pattern bindings included — every ident up to `=`/`;`).
+        let mut bound: Vec<String> = Vec::new();
+        let mut k = start;
+        let mut in_params = false;
+        while k < close {
+            match self.text(k) {
+                "let" => {
+                    let mut j = k + 1;
+                    while j < close && !matches!(self.text(j), "=" | ";") {
+                        if self.is_ident(j) && !is_keyword(self.text(j)) {
+                            bound.push(self.toks[j].text.clone());
+                        }
+                        j += 1;
+                    }
+                    k = j;
+                }
+                "|" => {
+                    if self.text(k + 1) == "|" {
+                        k += 1; // `||`: zero-param closure or logical-or
+                    } else {
+                        in_params = !in_params;
+                    }
+                }
+                _ => {
+                    if in_params && self.is_ident(k) && !is_keyword(self.text(k)) {
+                        bound.push(self.toks[k].text.clone());
+                    }
+                }
+            }
+            k += 1;
+        }
+        let mut writes: Vec<String> = Vec::new();
+        for k in start..close {
+            if !self.is_ident(k) || is_keyword(self.text(k)) {
+                continue;
+            }
+            let prev = self.text(k.wrapping_sub(1));
+            if prev == "." || prev == ":" {
+                continue;
+            }
+            let n1 = self.text(k + 1);
+            let n2 = self.text(k + 2);
+            let direct = n1 == "=" && n2 != "=" && !matches!(n2, ">");
+            let compound = matches!(n1, "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^") && n2 == "=";
+            let mut_call = n1 == "."
+                && self.is_ident(k + 2)
+                && MUT_METHODS.contains(&n2)
+                && self.text(k + 3) == "(";
+            if direct || compound || mut_call {
+                let name = &self.toks[k].text;
+                if !bound.iter().any(|b| b == name) {
+                    writes.push(name.clone());
+                }
+            }
+        }
+        writes.sort();
+        writes.dedup();
+        writes
     }
 
     /// Walk a turbofish backwards from its closing `>` at `gt`:
@@ -1863,6 +2307,150 @@ mod tests {
         assert_eq!(target.base, "HashMap");
         let ItemKind::TypeAlias { target, .. } = &file.items[1].kind else { panic!() };
         assert_eq!(target.base, "(tuple)");
+    }
+
+    #[test]
+    fn assign_sites_key_roots_and_record_uses() {
+        let file = parse_src(
+            "fn f(&mut self, src: u64) {\n\
+               let mut acc = 0u64;\n\
+               acc = src;\n\
+               acc += src;\n\
+               self.stats.total = acc;\n\
+               self.tags[3] = src;\n\
+               out.field = helper(acc);\n\
+               *guard = src;\n\
+             }",
+        );
+        let body = fns(&file)[0].body.as_ref().unwrap();
+        let targets: Vec<&AssignTarget> = body.assigns.iter().map(|a| &a.target).collect();
+        assert_eq!(
+            targets,
+            vec![
+                &AssignTarget::Local("acc".into()),
+                &AssignTarget::Local("acc".into()),
+                &AssignTarget::SelfField("stats".into()),
+                &AssignTarget::SelfField("tags".into()),
+                &AssignTarget::Local("out".into()),
+                &AssignTarget::Local("guard".into()),
+            ],
+            "deref writes key the local; let-bindings are Local facts"
+        );
+        assert!(body.assigns[0].uses.contains(&UseRef::Ident("src".into())));
+        assert!(body.assigns[2].uses.contains(&UseRef::Ident("acc".into())));
+        // Let initializer uses recorded on the Local itself.
+        let helper_call = &body.assigns[4];
+        assert!(helper_call.uses.contains(&UseRef::Ident("acc".into())));
+    }
+
+    #[test]
+    fn return_sites_cover_return_and_tail() {
+        let file = parse_src(
+            "fn f(x: u64) -> u64 {\n\
+               if x > 3 { return x; }\n\
+               let y = x + 1;\n\
+               y\n\
+             }\n\
+             fn unit_fn(x: u64) { let _ = x; }\n",
+        );
+        let body = fns(&file)[0].body.as_ref().unwrap();
+        assert_eq!(body.returns.len(), 2);
+        assert!(body.returns[0].uses.contains(&UseRef::Ident("x".into())));
+        assert!(body.returns[1].uses.contains(&UseRef::Ident("y".into())));
+        let unit = fns(&file)[1].body.as_ref().unwrap();
+        assert!(unit.returns.is_empty(), "unit fns record no tail");
+    }
+
+    #[test]
+    fn struct_lits_record_uses_not_field_names() {
+        let file = parse_src(
+            "fn f(wall: f64, n: u64) -> Manifest {\n\
+               let m = Manifest { wall_seconds: wall, count: n, kind };\n\
+               match m { Manifest { count, .. } => {} }\n\
+               m\n\
+             }",
+        );
+        let body = fns(&file)[0].body.as_ref().unwrap();
+        let lits: Vec<&StructLit> =
+            body.struct_lits.iter().filter(|s| s.name == "Manifest").collect();
+        assert_eq!(lits.len(), 1, "match-pattern position is not a literal");
+        let uses = &lits[0].uses;
+        assert!(uses.contains(&UseRef::Ident("wall".into())));
+        assert!(uses.contains(&UseRef::Ident("n".into())));
+        assert!(uses.contains(&UseRef::Ident("kind".into())), "shorthand init is a read");
+        assert!(!uses.contains(&UseRef::Ident("wall_seconds".into())), "field names excluded");
+    }
+
+    #[test]
+    fn binop_sites_keep_classifiable_operands() {
+        let file = parse_src(
+            "fn f(&self, cycles: u64, bytes: u64) {\n\
+               let a = cycles + bytes;\n\
+               let b = cycles < self.budget;\n\
+               let c = block % self.sets;\n\
+               let d = cycles / bytes;\n\
+               let e = xs.len() + bytes;\n\
+               let g: Vec<u64> = Vec::new();\n\
+             }",
+        );
+        let body = fns(&file)[0].body.as_ref().unwrap();
+        let ops: Vec<(&str, &ChainBase, &ChainBase)> =
+            body.binops.iter().map(|s| (s.op.as_str(), &s.lhs.base, &s.rhs.base)).collect();
+        assert!(ops.contains(&(
+            "+",
+            &ChainBase::Ident("cycles".into()),
+            &ChainBase::Ident("bytes".into())
+        )));
+        assert!(ops.contains(&(
+            "<",
+            &ChainBase::Ident("cycles".into()),
+            &ChainBase::SelfField(vec!["budget".into()])
+        )));
+        assert!(ops.iter().any(|(op, ..)| *op == "%"));
+        assert!(!ops.iter().any(|(op, ..)| *op == "/"), "division is unit-exempt");
+        assert!(
+            !ops.iter().any(|(_, l, _)| **l == ChainBase::Ident("xs".into())),
+            "method-call operands are unclassifiable"
+        );
+    }
+
+    #[test]
+    fn closure_captured_writes_detected() {
+        let file = parse_src(
+            "fn f(xs: &Vec<u64>) {\n\
+               let mut total = 0u64;\n\
+               let mut out = Vec::new();\n\
+               xs.par_iter().for_each(|x| { total += x; out.push(*x); let local = x + 1; });\n\
+               xs.iter().for_each(|x| { let mut inner = 0; inner += x; });\n\
+             }",
+        );
+        let body = fns(&file)[0].body.as_ref().unwrap();
+        let fe: Vec<&MethodCall> =
+            body.method_calls.iter().filter(|m| m.name == "for_each").collect();
+        assert_eq!(fe.len(), 2);
+        assert_eq!(fe[0].closure_writes, vec!["out".to_string(), "total".to_string()]);
+        assert!(fe[1].closure_writes.is_empty(), "closure-local writes are not captures");
+    }
+
+    #[test]
+    fn call_sites_carry_positions_and_arg_uses() {
+        let file = parse_src(
+            "fn f(w: u64) {\n\
+               let t = Instant::now();\n\
+               submit(w, t);\n\
+               sink.write(t);\n\
+             }",
+        );
+        let body = fns(&file)[0].body.as_ref().unwrap();
+        let submit = body.path_calls.iter().find(|c| c.segments == ["submit"]).unwrap();
+        assert!(submit.arg_uses.contains(&UseRef::Ident("w".into())));
+        assert!(submit.arg_uses.contains(&UseRef::Ident("t".into())));
+        let write = body.method_calls.iter().find(|m| m.name == "write").unwrap();
+        assert!(write.arg_uses.contains(&UseRef::Ident("t".into())));
+        let now = body.path_calls.iter().find(|c| c.segments == ["Instant", "now"]).unwrap();
+        // Positions land inside the recording fn's let span.
+        assert!(now.pos > body.span.0 && now.pos < body.span.1);
+        assert!(body.locals[0].rhs.0 <= now.pos && now.pos < body.locals[0].rhs.1);
     }
 
     #[test]

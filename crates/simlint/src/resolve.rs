@@ -34,6 +34,71 @@ pub struct SourceInfo {
     pub class: TyClass,
     /// The chain goes through a rayon `par_iter`-family method.
     pub parallel: bool,
+    /// The produced *value* depends on the iteration order of an
+    /// unordered container — sticky through unknown methods (`collect`,
+    /// `fold`, user methods), cleared by order-insensitive terminators
+    /// (`count`, `max`, ...). This is what D11 calls an
+    /// iteration-order taint source.
+    pub tainted_order: bool,
+}
+
+/// Coarse integer-unit classification for D12: what a counter counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitClass {
+    Cycles,
+    Instructions,
+    Bytes,
+    Blocks,
+    Sets,
+}
+
+impl UnitClass {
+    pub fn label(self) -> &'static str {
+        match self {
+            UnitClass::Cycles => "cycles",
+            UnitClass::Instructions => "instructions",
+            UnitClass::Bytes => "bytes",
+            UnitClass::Blocks => "blocks",
+            UnitClass::Sets => "sets",
+        }
+    }
+}
+
+/// Newtype-name classification (`struct Cycles(u64)`, `type SetIdx =
+/// usize`, ...). Positive matches only — anything else is unclassified.
+pub fn unit_of_type_name(name: &str) -> Option<UnitClass> {
+    match name {
+        "Cycles" | "CycleCount" => Some(UnitClass::Cycles),
+        "Instructions" | "Instrs" | "InstrCount" => Some(UnitClass::Instructions),
+        "Bytes" | "ByteCount" => Some(UnitClass::Bytes),
+        "Blocks" | "BlockAddr" | "BlockId" => Some(UnitClass::Blocks),
+        "Sets" | "SetIdx" | "SetIndex" => Some(UnitClass::Sets),
+        _ => None,
+    }
+}
+
+/// Signature/field-name heuristics: snake-case counter names whose unit
+/// is unambiguous in this codebase's vocabulary. Kept deliberately
+/// narrow — a wrong class produces a false mismatch, so ambiguous names
+/// (`count`, `n`, `size`, `addr`) stay unclassified.
+pub fn unit_of_name(name: &str) -> Option<UnitClass> {
+    let eq = |cands: &[&str]| cands.contains(&name);
+    let tail = |sufs: &[&str]| sufs.iter().any(|s| name.ends_with(s));
+    if eq(&["cycles", "cycle", "latency"]) || tail(&["_cycles", "_cycle", "_latency"]) {
+        Some(UnitClass::Cycles)
+    } else if eq(&["instructions", "instrs", "instr", "retired"])
+        || tail(&["_instructions", "_instrs", "_instr"])
+    {
+        Some(UnitClass::Instructions)
+    } else if eq(&["bytes", "byte"]) || tail(&["_bytes"]) {
+        Some(UnitClass::Bytes)
+    } else if eq(&["blocks", "block", "block_addr"]) || tail(&["_blocks", "_block"]) {
+        Some(UnitClass::Blocks)
+    } else if eq(&["sets", "num_sets", "set_idx", "set_index", "set_count"]) || tail(&["_sets"]) {
+        Some(UnitClass::Sets)
+    } else {
+        None
+    }
 }
 
 /// Resolution context for one fn body.
@@ -84,11 +149,29 @@ const ADAPTERS: [&str; 22] = [
 ];
 
 /// Rayon entry points: order class preserved, `parallel` set.
-const PAR_METHODS: [&str; 5] =
+pub(crate) const PAR_METHODS: [&str; 5] =
     ["par_iter", "par_iter_mut", "into_par_iter", "par_chunks", "par_bridge"];
 
 /// Constructor tails that name the constructed type (`HashMap::new()`).
 const CTORS: [&str; 6] = ["new", "with_capacity", "default", "from", "from_iter", "with_hasher"];
+
+/// Sequence terminators whose result does *not* depend on iteration
+/// order (`sum`/`product` are order-sensitive for floats, but that case
+/// is D8's — for integer counters they are order-free).
+const ORDER_INSENSITIVE: [&str; 12] = [
+    "count",
+    "len",
+    "max",
+    "min",
+    "sum",
+    "any",
+    "all",
+    "is_empty",
+    "contains",
+    "max_by_key",
+    "min_by_key",
+    "product",
+];
 
 fn classify_name(name: &str) -> TyClass {
     match name {
@@ -110,6 +193,12 @@ pub struct Resolver {
     type_aliases: BTreeMap<String, TypeRef>,
     /// Per-file `use` aliases: local name → real (last) path segment.
     file_uses: Vec<BTreeMap<String, String>>,
+    /// Workspace-wide `use ... as` renames, for cross-crate re-export
+    /// chains (`crate a` renames, `crate b` re-exports, `crate c`
+    /// consumes). Aliases that conflict across files or shadow a
+    /// workspace struct / type alias are dropped — an unresolved name
+    /// classifies as `Other`, which no rule fires on.
+    global_renames: BTreeMap<String, String>,
 }
 
 impl Resolver {
@@ -174,7 +263,27 @@ impl Resolver {
                 }
             }
         }
-        Resolver { structs, type_aliases, file_uses }
+        let mut global_renames: BTreeMap<String, String> = BTreeMap::new();
+        let mut conflicted: Vec<String> = Vec::new();
+        for uses in &file_uses {
+            for (alias, target) in uses {
+                if structs.contains_key(alias) || type_aliases.contains_key(alias) {
+                    continue;
+                }
+                let resolved = chase(uses, target);
+                match global_renames.get(alias) {
+                    Some(prev) if *prev != resolved => conflicted.push(alias.clone()),
+                    _ => {
+                        global_renames.insert(alias.clone(), resolved);
+                    }
+                }
+            }
+        }
+        for alias in conflicted {
+            global_renames.remove(&alias);
+        }
+
+        Resolver { structs, type_aliases, file_uses, global_renames }
     }
 
     /// Resolve a type base name through this file's `use` aliases and
@@ -191,6 +300,12 @@ impl Resolver {
             if let Some(target) = self.type_aliases.get(&cur) {
                 if target.base != cur {
                     cur = target.base.clone();
+                    continue;
+                }
+            }
+            if let Some(real) = self.global_renames.get(&cur) {
+                if *real != cur {
+                    cur = real.clone();
                     continue;
                 }
             }
@@ -223,6 +338,12 @@ impl Resolver {
                     let keep_args =
                         if cur.args.is_empty() { target.args.clone() } else { cur.args };
                     cur = TypeRef { base: target.base.clone(), args: keep_args };
+                    continue;
+                }
+            }
+            if let Some(real) = self.global_renames.get(&cur.base) {
+                if *real != cur.base {
+                    cur.base = real.clone();
                     continue;
                 }
             }
@@ -334,6 +455,7 @@ impl Resolver {
         let mut class = self.classify(file, &ty);
         let mut parallel = false;
         let mut in_seq = false;
+        let mut unordered_seq = false;
         for m in &chain.methods {
             let m = m.as_str();
             if m == "[]" && !in_seq {
@@ -352,6 +474,7 @@ impl Resolver {
             } else if ITER_METHODS.contains(&m) {
                 // The sequence inherits the container's order class.
                 in_seq = true;
+                unordered_seq |= class == TyClass::Unordered;
             } else if PAR_METHODS.contains(&m) {
                 in_seq = true;
                 parallel = true;
@@ -362,12 +485,69 @@ impl Resolver {
                 ty = TypeRef::unknown();
                 class = TyClass::Other;
             } else {
-                // Unknown method (`max`, `collect` without turbofish,
-                // user methods): stop claiming anything.
-                return SourceInfo { class: TyClass::Other, parallel };
+                // Unknown terminator (`collect` without turbofish,
+                // `fold`, user methods): stop claiming a class — but if
+                // the sequence being consumed iterates an unordered
+                // container and the terminator is not provably
+                // order-insensitive, the *value* it produces depends on
+                // iteration order.
+                let order_dep = unordered_seq && !ORDER_INSENSITIVE.contains(&m);
+                return SourceInfo { class: TyClass::Other, parallel, tainted_order: order_dep };
             }
         }
-        SourceInfo { class, parallel }
+        SourceInfo { class, parallel, tainted_order: unordered_seq }
+    }
+
+    /// Classify a D12 binop operand chain to an integer unit. Newtype
+    /// resolution (the declared/resolved type names the unit) wins over
+    /// the name heuristic; a single `.field` projection re-anchors the
+    /// classification on that field. `None` whenever either signal is
+    /// ambiguous — D12 fires on positive proof only.
+    pub fn unit_of_chain(
+        &self,
+        file: usize,
+        scope: &FnScope<'_>,
+        chain: &Chain,
+    ) -> Option<UnitClass> {
+        // The parser only records classifiable operands: Ident/SelfField
+        // bases with no methods or one `.field` projection.
+        let (base_name, base_ty) = match &chain.base {
+            ChainBase::Ident(name) => {
+                (name.as_str(), self.base_ty(file, scope, &chain.base, chain.line))
+            }
+            ChainBase::SelfField(fields) => {
+                let name = fields.last().map(String::as_str)?;
+                (name, self.base_ty(file, scope, &chain.base, chain.line))
+            }
+            _ => return None,
+        };
+        let mut name = base_name;
+        let mut ty = base_ty;
+        if let Some(m) = chain.methods.first() {
+            let field = m.strip_prefix('.')?;
+            // Projection: re-anchor on the field. Type wins when the
+            // base resolves to a known struct with that field.
+            ty = if ty.base != "?" {
+                self.field_ty(file, &ty.base, &[field.to_string()])
+            } else {
+                TypeRef::unknown()
+            };
+            name = field;
+        }
+        if ty.base != "?" {
+            if let Some(u) = unit_of_type_name(&ty.base) {
+                return Some(u);
+            }
+            // A resolved non-unit newtype (e.g. `Duration`) stays
+            // unclassified only when it is a *struct we know* — plain
+            // integer types fall through to the name heuristic.
+            if !matches!(ty.base.as_str(), "u8" | "u16" | "u32" | "u64" | "usize" | "i32" | "i64")
+                && self.structs.contains_key(&ty.base)
+            {
+                return None;
+            }
+        }
+        unit_of_name(name)
     }
 }
 
@@ -413,6 +593,61 @@ mod tests {
         assert_eq!(r.resolve_base(0, "Index"), "HashMap");
         assert_eq!(r.field_ty(0, "S", &["m".into()]).base, "HashMap");
         assert_eq!(r.classify(0, &TypeRef::named("Index")), TyClass::Unordered);
+    }
+
+    #[test]
+    fn alias_cycles_terminate_under_the_depth_guard() {
+        // Mutually recursive type aliases: the bounded chase must
+        // return (either name is acceptable) instead of spinning.
+        let (files, _) = ws(&["type A = B;\ntype B = A;\n"]);
+        let refs: Vec<&File> = files.iter().collect();
+        let r = Resolver::new(&refs);
+        let base = r.resolve_base(0, "A");
+        assert!(base == "A" || base == "B", "unexpected resolution {base}");
+        assert_eq!(r.classify(0, &TypeRef::named("A")), TyClass::Other);
+        // Cross-file `use` rename cycle: X -> Y in one file, Y -> X in
+        // the other. The global rename chase is bounded the same way.
+        let (files, _) = ws(&["use b::Y as X;\n", "use a::X as Y;\n"]);
+        let refs: Vec<&File> = files.iter().collect();
+        let r = Resolver::new(&refs);
+        let base = r.resolve_base(0, "X");
+        assert!(base == "X" || base == "Y", "unexpected resolution {base}");
+    }
+
+    #[test]
+    fn cross_crate_reexport_chains_resolve() {
+        // crate a renames HashMap, crate b re-exports the renamed name,
+        // crate c consumes it: the consumer's file has no local rename,
+        // so only the workspace-global table can recover `HashMap`.
+        let (files, _) = ws(&[
+            "pub use std::collections::HashMap as FastMap;\n",
+            "pub use crate_a::FastMap;\n",
+            "use crate_b::FastMap;\nstruct S { m: FastMap<u64, u64> }\n",
+        ]);
+        let refs: Vec<&File> = files.iter().collect();
+        let r = Resolver::new(&refs);
+        assert_eq!(r.resolve_base(2, "FastMap"), "HashMap");
+        assert_eq!(r.classify(2, &TypeRef::named("FastMap")), TyClass::Unordered);
+        assert_eq!(r.field_ty(2, "S", &["m".into()]).base, "HashMap");
+    }
+
+    #[test]
+    fn conflicting_global_renames_are_dropped_not_guessed() {
+        // Two files rename the same alias to different targets: a third
+        // file's use of the bare name must stay unresolved (`Other`)
+        // rather than pick a winner.
+        let (files, _) = ws(&[
+            "use std::collections::HashMap as Table;\n",
+            "use std::collections::BTreeMap as Table;\n",
+            "struct S { t: Table<u64, u64> }\n",
+        ]);
+        let refs: Vec<&File> = files.iter().collect();
+        let r = Resolver::new(&refs);
+        assert_eq!(r.resolve_base(2, "Table"), "Table");
+        assert_eq!(r.classify(2, &TypeRef::named("Table")), TyClass::Other);
+        // But each defining file still resolves its own local alias.
+        assert_eq!(r.resolve_base(0, "Table"), "HashMap");
+        assert_eq!(r.resolve_base(1, "Table"), "BTreeMap");
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! | `float-reduction-order` | D8: no order-sensitive float reduction over unordered/parallel  |
 //! | `panic-path`            | D9: no unwaived panic site reachable from hot entry points      |
 //! | `telemetry-purity`      | D10: telemetry must not mutate simulator state                  |
+//! | `determinism-taint`     | D11: no nondeterministic value may reach result records         |
+//! | `unit-mismatch`         | D12: no arithmetic/comparison mixing counter unit classes       |
+//! | `shared-mut-parallel`   | D13: no shared mutable state in parallel closures on results    |
 //! | `waiver-syntax`         | a malformed waiver is itself a violation (not waivable)         |
 //! | `parse-error`           | simlint's own parser must read every owned file (not waivable)  |
 //! | `stale-waiver`          | `--audit-waivers` only: waiver with no live finding             |
@@ -32,7 +35,7 @@ use crate::resolve::{FnScope, Resolver, TyClass};
 use std::fmt;
 
 /// All waivable rule names, for waiver validation and `--list-rules`.
-pub const RULES: [&str; 10] = [
+pub const RULES: [&str; 13] = [
     "unordered-map",
     "wall-clock",
     "narrowing-cast",
@@ -43,6 +46,9 @@ pub const RULES: [&str; 10] = [
     "float-reduction-order",
     "panic-path",
     "telemetry-purity",
+    "determinism-taint",
+    "unit-mismatch",
+    "shared-mut-parallel",
 ];
 
 /// One-line description per rule (kept in sync with README by a test).
@@ -60,6 +66,11 @@ pub fn describe(rule: &str) -> &'static str {
         }
         "panic-path" => "no unwaived panic site reachable from hot entry points (semantic)",
         "telemetry-purity" => "telemetry sinks and call sites must not mutate state (semantic)",
+        "determinism-taint" => "no nondeterministic value may flow into result records (dataflow)",
+        "unit-mismatch" => "no arithmetic/comparison mixing counter unit classes (semantic)",
+        "shared-mut-parallel" => {
+            "no shared mutable state written in parallel closures on the result path (dataflow)"
+        }
         _ => "",
     }
 }
@@ -133,7 +144,7 @@ impl FileCtx {
         }
     }
 
-    fn rule_applies(&self, rule: &str) -> bool {
+    pub(crate) fn rule_applies(&self, rule: &str) -> bool {
         if self.is_test {
             return false;
         }
@@ -164,6 +175,14 @@ impl FileCtx {
             "float-reduction-order" | "panic-path" | "telemetry-purity" => {
                 self.crate_name != "simlint"
             }
+            // D11 anchors at the sink: bench legitimately reads clocks
+            // for wall-time reporting, and the linter's own sources
+            // exercise forbidden shapes.
+            "determinism-taint" => !matches!(self.crate_name.as_str(), "bench" | "simlint"),
+            // D12's unit vocabulary (cycles/instrs/bytes/blocks/sets)
+            // belongs to the simulator core and the shared core types.
+            "unit-mismatch" => matches!(self.crate_name.as_str(), "simcore" | "core"),
+            "shared-mut-parallel" => self.crate_name != "simlint",
             _ => false,
         }
     }
@@ -523,7 +542,8 @@ pub fn semantic_findings(units: &[Unit<'_>]) -> Vec<Finding> {
         let d7 = ctx.rule_applies("nondet-iteration");
         let d8 = ctx.rule_applies("float-reduction-order");
         let d10 = ctx.rule_applies("telemetry-purity");
-        if !(d7 || d8 || d10) {
+        let d12 = ctx.rule_applies("unit-mismatch");
+        if !(d7 || d8 || d10 || d12) {
             continue;
         }
         let mut push = |line: u32, rule: &'static str, message: String| {
@@ -686,6 +706,36 @@ pub fn semantic_findings(units: &[Unit<'_>]) -> Vec<Finding> {
                         }
                     }
                 }
+                // D12: arithmetic/comparison whose operands *both*
+                // classify to different unit classes — adding cycles to
+                // bytes, comparing a block address against a set count.
+                // `/` and `*` never reach here (the parser records only
+                // `+ - % ==` and comparisons): ratios and scaling are
+                // legitimate cross-unit math. Unknown operands stay
+                // silent — both sides need positive proof.
+                if d12 {
+                    for b in &body.binops {
+                        let lhs = resolver.unit_of_chain(fi, &scope, &b.lhs);
+                        let rhs = resolver.unit_of_chain(fi, &scope, &b.rhs);
+                        if let (Some(lu), Some(ru)) = (lhs, rhs) {
+                            if lu != ru {
+                                push(
+                                    b.line,
+                                    "unit-mismatch",
+                                    format!(
+                                        "`{}` mixes {} with {}: both operands are counters of \
+                                         different units, so this is almost certainly the \
+                                         u32-wrap / modulo-set-indexing bug shape; convert \
+                                         explicitly or fix the operand",
+                                        b.op,
+                                        lu.label(),
+                                        ru.label()
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
             }
         }
     }
@@ -771,6 +821,9 @@ pub fn semantic_findings(units: &[Unit<'_>]) -> Vec<Finding> {
             ),
         });
     }
+
+    // ---- D11 / D13: interprocedural taint dataflow -----------------------
+    findings.extend(crate::dataflow::Dataflow::run(units, &files, &resolver, &graph));
 
     findings
 }
@@ -927,8 +980,10 @@ mod tests {
     fn d6_flags_println_family_in_sim_library_crates() {
         let src = "fn f() { println!(\"x\"); }\nfn g() { eprintln!(\"y\"); }\n";
         assert_eq!(rules_of(&lint_as(SIM_FILE, src)), ["no-println", "no-println"]);
+        // Two hits on one line collapse to one reported finding (the
+        // (rule, file, line) dedup in `Workspace::lint`).
         let short = "fn f() { print!(\"x\"); eprint!(\"y\"); }\n";
-        assert_eq!(rules_of(&lint_as(SIM_FILE, short)), ["no-println", "no-println"]);
+        assert_eq!(rules_of(&lint_as(SIM_FILE, short)), ["no-println"]);
         // core and simtel are in scope too.
         assert_eq!(
             rules_of(&lint_as("crates/core/src/lp.rs", "fn f() { println!(\"x\"); }\n")),

@@ -29,6 +29,9 @@ nondet-iteration       no iteration over unordered containers, through aliases (
 float-reduction-order  no order-sensitive float reduction over unordered/parallel sources (semantic)
 panic-path             no unwaived panic site reachable from hot entry points (semantic)
 telemetry-purity       telemetry sinks and call sites must not mutate state (semantic)
+determinism-taint      no nondeterministic value may flow into result records (dataflow)
+unit-mismatch          no arithmetic/comparison mixing counter unit classes (semantic)
+shared-mut-parallel    no shared mutable state written in parallel closures on the result path (dataflow)
 ";
     assert_eq!(stdout, expected);
 }
@@ -68,4 +71,63 @@ fn unknown_flags_fail_with_usage() {
     let out = simlint().arg("--bogus").output().expect("run simlint");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}
+
+#[test]
+fn sarif_format_emits_a_valid_skeleton_with_all_rules() {
+    let out =
+        simlint().arg(workspace_root()).args(["--format", "sarif"]).output().expect("run simlint");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let sarif = String::from_utf8(out.stdout).expect("utf8");
+    assert!(sarif.contains("\"version\":\"2.1.0\""));
+    assert!(sarif.contains("\"name\":\"simlint\""));
+    // Every waivable rule plus the meta rules appears in the driver
+    // table even on a clean run.
+    for rule in simlint::RULES {
+        assert!(sarif.contains(&format!("\"id\":\"{rule}\"")), "missing rule {rule}");
+    }
+    for meta in ["parse-error", "waiver-syntax", "stale-waiver"] {
+        assert!(sarif.contains(&format!("\"id\":\"{meta}\"")), "missing meta rule {meta}");
+    }
+    assert!(sarif.contains("\"results\":[]"), "clean workspace has no results");
+}
+
+#[test]
+fn time_budget_pass_and_fail() {
+    let ok = simlint()
+        .arg(workspace_root())
+        .args(["--time-budget", "300"])
+        .output()
+        .expect("run simlint");
+    assert!(ok.status.success(), "stderr: {}", String::from_utf8_lossy(&ok.stderr));
+    assert!(String::from_utf8_lossy(&ok.stderr).contains("within the 300.0s budget"));
+    let fail = simlint()
+        .arg(workspace_root())
+        .args(["--time-budget", "0.000001"])
+        .output()
+        .expect("run simlint");
+    assert!(!fail.status.success());
+    assert!(String::from_utf8_lossy(&fail.stderr).contains("exceeded"));
+}
+
+#[test]
+fn changed_only_needs_a_ref_after_equals() {
+    let out = simlint().arg(workspace_root()).arg("--changed-only=").output().expect("run simlint");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("needs a git ref"));
+}
+
+#[test]
+fn changed_only_filters_to_changed_files() {
+    // Diffing HEAD against itself yields no changed tracked files; any
+    // untracked files under the workspace are still included, so this
+    // asserts the filter runs and exits cleanly (the workspace is lint-
+    // clean either way).
+    let out = simlint()
+        .arg(workspace_root())
+        .args(["--changed-only=HEAD", "--json"])
+        .output()
+        .expect("run simlint");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "[]\n");
 }

@@ -1,0 +1,12 @@
+// D11 fixture: a wall-clock read laundered through two locals must be
+// tracked by the dataflow pass into the manifest record, and the
+// finding message must spell out the source -> sink path.
+pub struct RunManifest {
+    pub wall_seconds: f64,
+}
+
+pub fn record() -> RunManifest {
+    let started = Instant::now();
+    let wall = started.elapsed().as_secs_f64();
+    RunManifest { wall_seconds: wall }
+}

@@ -1,0 +1,18 @@
+// D11 fixture: the waiver sits at the sink (where the tainted value
+// enters the record), clearing the finding; the untainted sibling
+// record never trips in the first place.
+pub struct RunManifest {
+    pub wall_seconds: f64,
+    pub cycles: u64,
+}
+
+pub fn record(cycles: u64) -> RunManifest {
+    let started = Instant::now();
+    let wall = started.elapsed().as_secs_f64();
+    // simlint::allow(determinism-taint): fixture — wall_seconds is gated by an options flag upstream
+    RunManifest { wall_seconds: wall, cycles }
+}
+
+pub fn clean(cycles: u64) -> RunManifest {
+    RunManifest { wall_seconds: 0.0, cycles }
+}

@@ -1,0 +1,13 @@
+// D12 fixture: adding a cycle counter to a byte counter mixes unit
+// classes (both classified by field-name heuristics through the struct
+// table) and must trip.
+pub struct Repl {
+    cycles: u64,
+    total_bytes: u64,
+}
+
+impl Repl {
+    pub fn confused(&self) -> u64 {
+        self.cycles + self.total_bytes
+    }
+}

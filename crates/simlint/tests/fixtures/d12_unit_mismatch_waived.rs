@@ -1,0 +1,23 @@
+// D12 fixture: the waiver clears the deliberate mixed-unit comparison;
+// same-unit arithmetic and ratio division never trip in the first place.
+pub struct Repl {
+    cycles: u64,
+    busy_cycles: u64,
+    total_bytes: u64,
+}
+
+impl Repl {
+    pub fn occupancy(&self) -> u64 {
+        // simlint::allow(unit-mismatch): fixture — deliberate cross-unit watermark check
+        if self.cycles > self.total_bytes {
+            return 1;
+        }
+        // Same unit class on both sides: fine.
+        self.cycles - self.busy_cycles
+    }
+
+    pub fn ratio(&self) -> u64 {
+        // Division is exempt: bytes-per-cycle is a legitimate ratio.
+        self.total_bytes / self.cycles.max(1)
+    }
+}

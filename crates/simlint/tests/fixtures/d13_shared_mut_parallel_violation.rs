@@ -1,0 +1,12 @@
+// D13 fixture: a mutable capture written inside a par_iter closure that
+// then flows into a result record must trip — the write order across
+// rayon workers is scheduler-dependent.
+pub struct RunRecord {
+    pub xs: Vec<u64>,
+}
+
+pub fn sweep(points: &Vec<u64>) -> RunRecord {
+    let mut xs = Vec::new();
+    points.par_iter().for_each(|p| xs.push(*p));
+    RunRecord { xs }
+}

@@ -1,0 +1,20 @@
+// D13 fixture: the waiver (documenting the disjoint-slot invariant)
+// clears the finding; the sequential sibling never trips.
+pub struct RunRecord {
+    pub xs: Vec<u64>,
+}
+
+pub fn sweep(points: &Vec<u64>) -> RunRecord {
+    let mut xs = Vec::new();
+    points.par_iter().for_each(|p| xs.push(*p));
+    // simlint::allow(shared-mut-parallel): fixture — each worker writes a disjoint pre-sized slot
+    RunRecord { xs }
+}
+
+pub fn sequential(points: &Vec<u64>) -> RunRecord {
+    let mut xs = Vec::new();
+    for p in points.iter() {
+        xs.push(*p);
+    }
+    RunRecord { xs }
+}

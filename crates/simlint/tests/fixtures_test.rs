@@ -131,6 +131,72 @@ fn d10_fixture_trips_and_waiver_clears() {
 }
 
 #[test]
+fn d11_fixture_trips_with_path_and_waiver_clears() {
+    let f = lint_fixture("d11_determinism_taint_violation.rs", "crates/workloads/src/fx.rs");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "determinism-taint");
+    // The message must carry the full interprocedural source -> sink path.
+    assert!(f[0].message.contains("wall-clock read `Instant::now()`"), "{}", f[0].message);
+    assert!(f[0].message.contains("`started`"), "{}", f[0].message);
+    assert!(f[0].message.contains("`wall`"), "{}", f[0].message);
+    assert!(f[0].message.contains("construction of `RunManifest`"), "{}", f[0].message);
+    let w = lint_fixture("d11_determinism_taint_waived.rs", "crates/workloads/src/fx.rs");
+    assert!(w.is_empty(), "waived fixture must be clean: {w:?}");
+    // bench reads clocks legitimately: out of scope.
+    let b = lint_fixture("d11_determinism_taint_violation.rs", "crates/bench/src/fx.rs");
+    assert!(b.iter().all(|f| f.rule != "determinism-taint"), "{b:?}");
+}
+
+#[test]
+fn d12_fixture_trips_and_waiver_clears() {
+    let f = lint_fixture("d12_unit_mismatch_violation.rs", "crates/simcore/src/fx.rs");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "unit-mismatch");
+    assert!(f[0].message.contains("cycles"), "{}", f[0].message);
+    assert!(f[0].message.contains("bytes"), "{}", f[0].message);
+    let w = lint_fixture("d12_unit_mismatch_waived.rs", "crates/simcore/src/fx.rs");
+    assert!(w.is_empty(), "waived fixture must be clean: {w:?}");
+    // D12's unit vocabulary is simcore/core-only.
+    let wl = lint_fixture("d12_unit_mismatch_violation.rs", "crates/workloads/src/fx.rs");
+    assert!(wl.is_empty(), "{wl:?}");
+}
+
+#[test]
+fn d13_fixture_trips_and_waiver_clears() {
+    let f = lint_fixture("d13_shared_mut_parallel_violation.rs", "crates/workloads/src/fx.rs");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "shared-mut-parallel");
+    assert!(f[0].message.contains("mutable capture `xs`"), "{}", f[0].message);
+    let w = lint_fixture("d13_shared_mut_parallel_waived.rs", "crates/workloads/src/fx.rs");
+    assert!(w.is_empty(), "waived fixture must be clean: {w:?}");
+}
+
+#[test]
+fn same_site_findings_collapse_and_order_is_stable() {
+    // One call site whose callee reaches two distinct sink lines: both
+    // cross-fn findings land on the same (rule, file, line) and must
+    // collapse to one deterministic entry.
+    let src = "pub struct RunRecord { pub a: f64, pub b: f64 }\n\
+               pub fn emit(v: f64) {\n\
+                 let r1 = RunRecord { a: v, b: 0.0 };\n\
+                 let r2 = RunRecord { a: 0.0, b: v };\n\
+               }\n\
+               pub fn go() {\n\
+                 let t = Instant::now().secs();\n\
+                 emit(t);\n\
+               }\n";
+    let ws = simlint::Workspace::from_sources(&[("crates/workloads/src/fx.rs", src)]);
+    let findings = ws.lint();
+    let at_call: Vec<_> =
+        findings.iter().filter(|f| f.line == 8 && f.rule == "determinism-taint").collect();
+    assert_eq!(at_call.len(), 1, "same-(rule,file,line) findings collapse: {findings:?}");
+    // And the report is sorted by (file, line, rule).
+    let mut sorted = findings.clone();
+    sorted.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    assert_eq!(findings, sorted);
+}
+
+#[test]
 fn json_report_matches_golden() {
     let ws = simlint::Workspace::from_sources(&[
         ("crates/simcore/src/engine.rs".to_string(), fixture("d9_panic_path_violation.rs")),

@@ -62,6 +62,24 @@ fn parser_reads_every_owned_workspace_file() {
     assert!(bad.is_empty(), "parse errors in owned files:\n{}", bad.join("\n"));
 }
 
+/// Dataflow smoke test: `lint()` runs the interprocedural taint
+/// fixpoint over every owned file, so this asserts the fixpoint
+/// converges on the real workspace (a hang here means the summary
+/// lattice stopped being monotone) and that two runs over the same
+/// tree produce byte-identical reports — the dataflow layer must be as
+/// deterministic as the simulator it polices.
+#[test]
+fn whole_workspace_dataflow_converges_deterministically() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("workspace root");
+    let ws = simlint::Workspace::load(root).expect("workspace walk failed");
+    let parse_errors: usize =
+        ws.files.iter().filter(|sf| sf.ctx.is_some()).map(|sf| sf.parse_errors.len()).sum();
+    assert_eq!(parse_errors, 0, "dataflow over a partially parsed workspace proves nothing");
+    let first = ws.lint();
+    let second = ws.lint();
+    assert_eq!(first, second, "interprocedural lint must be deterministic");
+}
+
 /// The workspace's waivers must all be live: a stale waiver would
 /// silently mask the next real finding at that location.
 #[test]
