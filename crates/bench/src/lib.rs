@@ -26,6 +26,14 @@ use std::process::ExitCode;
 ///   of completing the rest.
 /// * `--watchdog-cpi N` — per-point runaway ceiling of `N` cycles per
 ///   windowed instruction (default 512); `--no-watchdog` disarms it.
+/// * `--state-dir DIR` — directory for engine-state checkpoints (default
+///   `results/state/<bin>`; `--no-state` disables checkpointing).
+/// * `--warmup-fork` — persist each point's post-warmup machine state and
+///   fork from it on later runs of the same point (bit-identical results;
+///   skips the warmup replay).
+/// * `--snapshot-every N` — crash-recovery snapshot every `N` trace events
+///   during measurement; a killed run's next invocation resumes each
+///   interrupted point from its last snapshot.
 /// * `--telemetry DIR` — collect interval snapshots + event traces for
 ///   every simulated point and write `<DIR>/<workload>.<system>.intervals.jsonl`
 ///   and `.trace.json` (Chrome trace-event format, loadable in Perfetto).
@@ -58,6 +66,14 @@ pub struct HarnessOpts {
     pub interval: u64,
     /// Where to write the sweep's wall-clock benchmark summary.
     pub bench_out: Option<PathBuf>,
+    /// Explicit checkpoint directory (overrides the per-binary default).
+    pub state_dir: Option<PathBuf>,
+    /// Disable engine-state checkpointing entirely.
+    pub no_state: bool,
+    /// Fork points from persisted post-warmup checkpoints.
+    pub warmup_fork: bool,
+    /// Mid-measurement snapshot cadence in trace events (0 = off).
+    pub snapshot_every: u64,
 }
 
 impl Default for HarnessOpts {
@@ -74,6 +90,10 @@ impl Default for HarnessOpts {
             telemetry: None,
             interval: simtel::DEFAULT_INTERVAL_INSTRUCTIONS,
             bench_out: None,
+            state_dir: None,
+            no_state: false,
+            warmup_fork: false,
+            snapshot_every: 0,
         }
     }
 }
@@ -156,7 +176,23 @@ impl HarnessOpts {
                 "--bench-out" => {
                     opts.bench_out = Some(it.next().expect("--bench-out needs a path").into());
                 }
-                other => panic!("unknown argument {other:?} (try --quick / --scale / --warmup / --measure / --only / --manifest / --no-manifest / --resume / --fail-fast / --watchdog-cpi / --no-watchdog / --telemetry / --interval / --bench-out)"),
+                "--state-dir" => {
+                    opts.state_dir = Some(it.next().expect("--state-dir needs a path").into());
+                }
+                "--no-state" => {
+                    opts.no_state = true;
+                }
+                "--warmup-fork" => {
+                    opts.warmup_fork = true;
+                }
+                "--snapshot-every" => {
+                    opts.snapshot_every = it
+                        .next()
+                        .expect("--snapshot-every needs a value")
+                        .parse()
+                        .expect("bad --snapshot-every");
+                }
+                other => panic!("unknown argument {other:?} (try --quick / --scale / --warmup / --measure / --only / --manifest / --no-manifest / --resume / --fail-fast / --watchdog-cpi / --no-watchdog / --state-dir / --no-state / --warmup-fork / --snapshot-every / --telemetry / --interval / --bench-out)"),
             }
         }
         opts.window = Window::new(
@@ -204,6 +240,17 @@ impl HarnessOpts {
         m.resume = self.resume && m.manifest_path.is_some();
         m.fail_fast = self.fail_fast;
         m.watchdog = self.watchdog;
+        // Engine-state checkpoints: on when either layer is requested,
+        // under --state-dir or a per-binary default, unless --no-state.
+        if !self.no_state && (self.warmup_fork || self.snapshot_every > 0) {
+            m.state_dir = Some(match &self.state_dir {
+                Some(dir) => dir.clone(),
+                None if tag.is_empty() => PathBuf::from("results/state"),
+                None => PathBuf::from(format!("results/state/{tag}")),
+            });
+            m.warmup_fork = self.warmup_fork;
+            m.snapshot_every = self.snapshot_every;
+        }
         m
     }
 
@@ -408,6 +455,42 @@ mod tests {
         // --resume without a manifest degenerates to a plain run.
         let args: Vec<String> = ["--resume", "--no-manifest"].map(String::from).into();
         assert!(!HarnessOpts::parse(args).matrix_options("fig7").resume);
+    }
+
+    #[test]
+    fn checkpoint_flags_control_matrix_options() {
+        // No checkpoint layer requested: state dir stays unset.
+        let o = HarnessOpts::parse(Vec::<String>::new());
+        let m = o.matrix_options("fig7");
+        assert_eq!(m.state_dir, None);
+        assert!(!m.warmup_fork);
+        assert_eq!(m.snapshot_every, 0);
+
+        // Either layer enables the per-binary default state dir.
+        let o = HarnessOpts::parse(vec!["--warmup-fork".to_string()]);
+        let m = o.matrix_options("fig7");
+        assert_eq!(m.state_dir, Some(PathBuf::from("results/state/fig7")));
+        assert!(m.warmup_fork);
+        assert_eq!(m.snapshot_every, 0);
+
+        let args: Vec<String> = ["--snapshot-every", "50000"].map(String::from).into();
+        let m = HarnessOpts::parse(args).matrix_options("fig7");
+        assert_eq!(m.state_dir, Some(PathBuf::from("results/state/fig7")));
+        assert!(!m.warmup_fork);
+        assert_eq!(m.snapshot_every, 50_000);
+
+        // --state-dir overrides the default location.
+        let args: Vec<String> = ["--warmup-fork", "--state-dir", "ckpt"].map(String::from).into();
+        let m = HarnessOpts::parse(args).matrix_options("fig7");
+        assert_eq!(m.state_dir, Some(PathBuf::from("ckpt")));
+
+        // --no-state disables checkpointing wholesale.
+        let args: Vec<String> =
+            ["--warmup-fork", "--snapshot-every", "10", "--no-state"].map(String::from).into();
+        let m = HarnessOpts::parse(args).matrix_options("fig7");
+        assert_eq!(m.state_dir, None);
+        assert!(!m.warmup_fork);
+        assert_eq!(m.snapshot_every, 0);
     }
 
     #[test]

@@ -163,6 +163,58 @@ impl LargePredictor {
         self.stats = LpStats::default();
     }
 
+    /// Serialize the predictor table, LRU clock, and stats. The config is
+    /// not stored (validated via the snapshot's config hash); geometry is
+    /// checked on restore.
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"LP__");
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            w.put_u64(e.tag);
+            w.put_u64(e.addr);
+            w.put_u64(e.s_acc);
+            w.put_bool(e.valid);
+            w.put_u64(e.stamp);
+        }
+        w.put_u64(self.clock);
+        w.put_u64(self.stats.lookups);
+        w.put_u64(self.stats.table_hits);
+        w.put_u64(self.stats.table_misses);
+        w.put_u64(self.stats.sdc_routes);
+        w.put_u64(self.stats.hierarchy_routes);
+    }
+
+    /// Restore state saved by [`Self::save_state`] into a predictor of the
+    /// same geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"LP__")?;
+        let n = r.get_usize()?;
+        if n != self.entries.len() {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "lp entries",
+                expected: self.entries.len() as u64,
+                found: n as u64,
+            });
+        }
+        for e in &mut self.entries {
+            e.tag = r.get_u64()?;
+            e.addr = r.get_u64()?;
+            e.s_acc = r.get_u64()?;
+            e.valid = r.get_bool()?;
+            e.stamp = r.get_u64()?;
+        }
+        self.clock = r.get_u64()?;
+        self.stats.lookups = r.get_u64()?;
+        self.stats.table_hits = r.get_u64()?;
+        self.stats.table_misses = r.get_u64()?;
+        self.stats.sdc_routes = r.get_u64()?;
+        self.stats.hierarchy_routes = r.get_u64()?;
+        Ok(())
+    }
+
     /// Fraction of lookups routed to the SDC.
     pub fn sdc_route_ratio(&self) -> f64 {
         if self.stats.lookups == 0 {

@@ -20,6 +20,13 @@ pub trait Router: Send {
         None
     }
     fn reset_stats(&mut self) {}
+    /// Serialize router-internal training state, if any (stateless routers
+    /// write nothing).
+    fn save_state(&self, _w: &mut simstate::StateSink) {}
+    /// Restore state saved by [`Router::save_state`].
+    fn load_state(&mut self, _r: &mut simstate::StateSource) -> Result<(), simstate::StateError> {
+        Ok(())
+    }
 }
 
 /// The Large Predictor as a router (the SDC+LP system).
@@ -45,6 +52,14 @@ impl Router for LpRouter {
 
     fn reset_stats(&mut self) {
         self.lp.reset_stats();
+    }
+
+    fn save_state(&self, w: &mut simstate::StateSink) {
+        self.lp.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut simstate::StateSource) -> Result<(), simstate::StateError> {
+        self.lp.load_state(r)
     }
 }
 

@@ -132,6 +132,62 @@ impl SdcDir {
     pub fn reset_stats(&mut self) {
         self.stats = SdcDirStats::default();
     }
+
+    /// Serialize the directory entries, LRU clock, and stats. Geometry is
+    /// checked on restore; latency is config and not stored.
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"SDIR");
+        w.put_usize(self.sets);
+        w.put_usize(self.ways);
+        for e in &self.entries {
+            w.put_u64(e.block);
+            w.put_bool(e.valid);
+            w.put_u64(e.sharers);
+            w.put_u64(e.stamp);
+        }
+        w.put_u64(self.clock);
+        w.put_u64(self.stats.lookups);
+        w.put_u64(self.stats.hits);
+        w.put_u64(self.stats.inserts);
+        w.put_u64(self.stats.capacity_evictions);
+    }
+
+    /// Restore state saved by [`Self::save_state`] into a directory of the
+    /// same geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"SDIR")?;
+        let sets = r.get_usize()?;
+        if sets != self.sets {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "sdcdir sets",
+                expected: self.sets as u64,
+                found: sets as u64,
+            });
+        }
+        let ways = r.get_usize()?;
+        if ways != self.ways {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "sdcdir ways",
+                expected: self.ways as u64,
+                found: ways as u64,
+            });
+        }
+        for e in &mut self.entries {
+            e.block = r.get_u64()?;
+            e.valid = r.get_bool()?;
+            e.sharers = r.get_u64()?;
+            e.stamp = r.get_u64()?;
+        }
+        self.clock = r.get_u64()?;
+        self.stats.lookups = r.get_u64()?;
+        self.stats.hits = r.get_u64()?;
+        self.stats.inserts = r.get_u64()?;
+        self.stats.capacity_evictions = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

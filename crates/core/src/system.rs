@@ -288,6 +288,34 @@ impl<R: Router> CoreMemory for SdcCore<R> {
             sdcdir_occupancy: self.sdcdir.occupancy() as u64,
         }
     }
+
+    fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"SDCC");
+        self.inner.save_state(w);
+        self.router.save_state(w);
+        self.sdc.save_state(w);
+        self.sdc_mshr.save_state(w);
+        self.sdc_prefetcher.save_state(w);
+        self.sdcdir.save_state(w);
+        w.put_u64(self.routed_to_sdc);
+        w.put_u64(self.sdc_served_by_hierarchy);
+        w.put_u64(self.sdcdir_evict_invalidations);
+        // pf_buf is per-access scratch (cleared before every use): skipped.
+    }
+
+    fn load_state(&mut self, r: &mut simstate::StateSource) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"SDCC")?;
+        self.inner.load_state(r)?;
+        self.router.load_state(r)?;
+        self.sdc.load_state(r)?;
+        self.sdc_mshr.load_state(r)?;
+        self.sdc_prefetcher.load_state(r)?;
+        self.sdcdir.load_state(r)?;
+        self.routed_to_sdc = r.get_u64()?;
+        self.sdc_served_by_hierarchy = r.get_u64()?;
+        self.sdcdir_evict_invalidations = r.get_u64()?;
+        Ok(())
+    }
 }
 
 /// The SDC+LP per-core memory side evaluated throughout the paper.
@@ -470,6 +498,49 @@ mod tests {
             if sys.core.sdc.probe(b) {
                 assert_ne!(sys.core.sdcdir.sharers(b), 0, "block {b} in SDC but not SDCDir");
             }
+        }
+    }
+
+    #[test]
+    fn sdclp_snapshot_restore_then_run_is_bit_identical() {
+        use simcore::engine::{Engine, Window};
+        use simcore::trace::{RecordingTracer, Tracer};
+
+        // Mixed friendly/averse stream so the LP trains mid-trace and the
+        // SDC, SDCDir, and both MSHR files all hold live state at the split.
+        let mut rec = RecordingTracer::new(u64::MAX);
+        let mut x = 99u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match i % 4 {
+                0 => rec.mem(irregular_ref(i)),
+                1 => rec.mem(MemRef::read(3, 0, (i % 256) * 64)),
+                2 => rec.mem(MemRef::write(5, 2, (x >> 24) % 500_000 * 64)),
+                _ => rec.bubble(1 + (x % 3) as u32),
+            }
+        }
+        let trace = rec.finish();
+
+        let cfg = sys_cfg();
+        let build = || {
+            Engine::new(sdclp_system(&cfg, SdcLpConfig::table1()), 4, 224, Window::new(2000, 8000))
+        };
+
+        let mut straight = build();
+        straight.replay(&trace);
+        let want = straight.finish();
+        assert!(want.stats.routed_to_sdc > 0, "LP never routed to the SDC");
+
+        for split in [800usize, 3_500] {
+            let mut first = build();
+            let pos = first.replay_span(&trace, 0, split);
+            assert_eq!(pos, split);
+            let payload = first.snapshot();
+
+            let mut resumed = build();
+            resumed.restore(&payload).unwrap();
+            resumed.replay_from(&trace, pos);
+            assert_eq!(resumed.finish(), want, "diverged after restore at event {split}");
         }
     }
 

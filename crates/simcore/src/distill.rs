@@ -198,6 +198,40 @@ impl DistillCache {
     pub fn position(&self) -> u64 {
         self.loc.position()
     }
+
+    /// Serialize the LOC plus the WOC arrays, clock, and word-hit counter.
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"DST_");
+        self.loc.save_state(w);
+        w.put_usize(self.woc_per_set);
+        w.put_u64s(&self.woc_keys);
+        w.put_u64s(&self.woc_stamps);
+        w.put_u64(self.clock);
+        w.put_u64(self.woc_hits);
+    }
+
+    /// Restore state saved by [`Self::save_state`] into a cache of the same
+    /// LOC/WOC split.
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"DST_")?;
+        self.loc.load_state(r)?;
+        let woc_per_set = r.get_usize()?;
+        if woc_per_set != self.woc_per_set {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "distill woc_per_set",
+                expected: self.woc_per_set as u64,
+                found: woc_per_set as u64,
+            });
+        }
+        r.read_u64s_into("distill woc_keys", &mut self.woc_keys)?;
+        r.read_u64s_into("distill woc_stamps", &mut self.woc_stamps)?;
+        self.clock = r.get_u64()?;
+        self.woc_hits = r.get_u64()?;
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for DistillCache {

@@ -132,6 +132,45 @@ impl Dram {
         true
     }
 
+    /// Serialize row-buffer and bus scoreboard state plus stats. Config
+    /// and the derived latencies are not stored (validated via the
+    /// snapshot's config hash); the telemetry handle is re-attached by the
+    /// caller after restore.
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"DRAM");
+        w.put_usize(self.banks.len());
+        for bank in &self.banks {
+            w.put_opt_u64(bank.open_row);
+            w.put_u64(bank.next_free);
+        }
+        w.put_u64s(&self.bus_free);
+        self.stats.save_state(w);
+    }
+
+    /// Restore state saved by [`Self::save_state`] into a model of the same
+    /// channel/bank geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"DRAM")?;
+        let n = r.get_usize()?;
+        if n != self.banks.len() {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "dram banks",
+                expected: self.banks.len() as u64,
+                found: n as u64,
+            });
+        }
+        for bank in &mut self.banks {
+            bank.open_row = r.get_opt_u64()?;
+            bank.next_free = r.get_u64()?;
+        }
+        r.read_u64s_into("dram bus_free", &mut self.bus_free)?;
+        self.stats.load_state(r)?;
+        Ok(())
+    }
+
     /// Best-case (unloaded row hit) access latency in core cycles.
     pub fn min_latency(&self) -> u64 {
         self.cas + self.burst

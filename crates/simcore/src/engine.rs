@@ -336,7 +336,24 @@ impl<M: MemorySystem> Engine<M> {
 
     /// Replay a recorded trace through the engine.
     pub fn replay(&mut self, trace: &CompactTrace) {
-        for ev in &trace.events {
+        self.replay_from(trace, 0);
+    }
+
+    /// Replay `trace` starting at event index `from`. Returns the index of
+    /// the next unconsumed event (the `trace_pos` a snapshot taken now
+    /// should carry). Event indices are the snapshot resume points: a
+    /// restore followed by `replay_from` at the stored position is
+    /// bit-identical to the uninterrupted replay.
+    pub fn replay_from(&mut self, trace: &CompactTrace, from: usize) -> usize {
+        self.replay_span(trace, from, usize::MAX)
+    }
+
+    /// Replay at most `max_events` trace events starting at index `from`
+    /// (the mid-measurement checkpoint cadence). Returns the index of the
+    /// next unconsumed event; stops early when the engine is done.
+    pub fn replay_span(&mut self, trace: &CompactTrace, from: usize, max_events: usize) -> usize {
+        let mut idx = from;
+        for ev in trace.events.iter().skip(from).take(max_events) {
             if self.done() {
                 break;
             }
@@ -345,7 +362,82 @@ impl<M: MemorySystem> Engine<M> {
             } else {
                 self.bubble_n(ev.addr);
             }
+            idx += 1;
         }
+        idx
+    }
+
+    /// Serialize the engine's complete deterministic state: the ROB, the
+    /// memory system under test, the window position, and the budget spend
+    /// (`mem_events`/`timed_out`). Window geometry is stored for
+    /// validation. Deliberately *not* stored (caller configuration or pure
+    /// observers, re-attached after restore): the budget ceilings, the
+    /// telemetry sink, and the stride profiler.
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"ENG_");
+        w.put_u64(self.window.warmup);
+        w.put_u64(self.window.measure);
+        self.rob.save_state(w);
+        self.mem.save_state(w);
+        w.put_u64(self.instrs);
+        w.put_u64(self.measure_start_cycle);
+        w.put_bool(self.in_measurement);
+        w.put_u64(self.mem_events);
+        w.put_bool(self.timed_out);
+    }
+
+    /// Restore state saved by [`Engine::save_state`] into an engine built
+    /// with the same configuration and window. The telemetry interval
+    /// baseline is re-anchored to the restored state (intervals emitted
+    /// after a restore cover only post-restore execution).
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"ENG_")?;
+        let warmup = r.get_u64()?;
+        if warmup != self.window.warmup {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "window warmup",
+                expected: self.window.warmup,
+                found: warmup,
+            });
+        }
+        let measure = r.get_u64()?;
+        if measure != self.window.measure {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "window measure",
+                expected: self.window.measure,
+                found: measure,
+            });
+        }
+        self.rob.load_state(r)?;
+        self.mem.load_state(r)?;
+        self.instrs = r.get_u64()?;
+        self.measure_start_cycle = r.get_u64()?;
+        self.in_measurement = r.get_bool()?;
+        self.mem_events = r.get_u64()?;
+        self.timed_out = r.get_bool()?;
+        if self.in_measurement {
+            self.reset_tel_baseline();
+        }
+        Ok(())
+    }
+
+    /// One-call snapshot: the serialized payload for an `SSTATEv1`
+    /// container.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = simstate::StateSink::new();
+        self.save_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restore from a payload produced by [`Engine::snapshot`], requiring
+    /// the payload to be fully consumed.
+    pub fn restore(&mut self, payload: &[u8]) -> Result<(), simstate::StateError> {
+        let mut r = simstate::StateSource::new(payload);
+        self.load_state(&mut r)?;
+        r.expect_end()
     }
 
     fn bubble_n(&mut self, n: u64) {
@@ -740,5 +832,92 @@ mod tests {
         let b = run();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.stats.llc.misses, b.stats.llc.misses);
+    }
+
+    /// Synthetic trace with a mixed access pattern (hot loop + pointer-ish
+    /// chases + writes + bubbles) that exercises cache fills, evictions,
+    /// prefetcher training, and DRAM row state.
+    fn mixed_trace(events: usize) -> CompactTrace {
+        let mut rec = RecordingTracer::new(u64::MAX);
+        let mut x = 12345u64;
+        for i in 0..events as u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match i % 5 {
+                0 => rec.mem(MemRef::read(3, 0, (i % 64) * 64)),
+                1 => rec.mem(MemRef::read(7, 1, (x >> 20) % 4_000_000 / 64 * 64)),
+                2 => rec.mem(MemRef::write(9, 2, (i % 512) * 64)),
+                3 => rec.mem(MemRef::read(11, 1, (i * 64) % 2_000_000)),
+                _ => rec.bubble(1 + (x % 4) as u32),
+            }
+        }
+        rec.finish()
+    }
+
+    /// Engine with prefetchers enabled, to snapshot as much machine state
+    /// as the baseline hierarchy can hold.
+    fn full_engine(window: Window) -> Engine<BaselineHierarchy> {
+        let cfg = SystemConfig::baseline(1);
+        Engine::new(BaselineHierarchy::new(&cfg), cfg.core.width, cfg.core.rob_entries, window)
+    }
+
+    #[test]
+    fn snapshot_restore_then_run_is_bit_identical() {
+        let trace = mixed_trace(12_000);
+        let window = Window::new(2_000, 6_000);
+
+        let mut straight = full_engine(window);
+        straight.replay(&trace);
+        let want = straight.finish();
+        assert!(want.instructions > 0 && want.cycles > 0);
+
+        // Split at several points: mid-warmup, at the boundary region, and
+        // mid-measurement. Each must resume to the same final result.
+        for split in [500usize, 1_700, 3_000, 5_500] {
+            let mut first = full_engine(window);
+            let pos = first.replay_span(&trace, 0, split);
+            assert_eq!(pos, split, "trace long enough to hit the split");
+            let payload = first.snapshot();
+
+            let mut resumed = full_engine(window);
+            resumed.restore(&payload).unwrap();
+            assert_eq!(resumed.instructions(), first.instructions());
+            resumed.replay_from(&trace, pos);
+            let got = resumed.finish();
+            assert_eq!(got, want, "diverged after restore at event {split}");
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_cycle_position() {
+        let trace = mixed_trace(4_000);
+        let mut e = full_engine(Window::new(0, 100_000));
+        let pos = e.replay_span(&trace, 0, 2_000);
+        let payload = e.snapshot();
+
+        let mut r = full_engine(Window::new(0, 100_000));
+        r.restore(&payload).unwrap();
+        assert_eq!(r.instructions(), e.instructions());
+        // Both continue and land on the same cycle count.
+        e.replay_from(&trace, pos);
+        r.replay_from(&trace, pos);
+        assert_eq!(e.finish(), r.finish());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_window_and_junk() {
+        let mut e = full_engine(Window::new(100, 1_000));
+        e.bubble_n(50);
+        let payload = e.snapshot();
+
+        let mut other = full_engine(Window::new(200, 1_000));
+        assert!(matches!(
+            other.restore(&payload),
+            Err(simstate::StateError::ShapeMismatch { what: "window warmup", .. })
+        ));
+
+        let mut truncated = payload.clone();
+        truncated.truncate(payload.len() / 2);
+        let mut fresh = full_engine(Window::new(100, 1_000));
+        assert!(fresh.restore(&truncated).is_err());
     }
 }

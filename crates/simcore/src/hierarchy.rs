@@ -71,6 +71,11 @@ pub trait MemorySystem {
     fn telemetry_counters(&self) -> simtel::ExtraCounters {
         simtel::ExtraCounters::default()
     }
+    /// Serialize the complete deterministic state of the memory system.
+    fn save_state(&self, w: &mut simstate::StateSink);
+    /// Restore state saved by [`MemorySystem::save_state`] into a system of
+    /// the same configuration (geometry is validated, never assumed).
+    fn load_state(&mut self, r: &mut simstate::StateSource) -> Result<(), simstate::StateError>;
 }
 
 /// The per-core private component of any evaluated system: it sees the
@@ -89,6 +94,10 @@ pub trait CoreMemory {
     fn telemetry_counters(&self) -> simtel::ExtraCounters {
         simtel::ExtraCounters::default()
     }
+    /// Serialize the core-private deterministic state.
+    fn save_state(&self, w: &mut simstate::StateSink);
+    /// Restore state saved by [`CoreMemory::save_state`].
+    fn load_state(&mut self, r: &mut simstate::StateSource) -> Result<(), simstate::StateError>;
 }
 
 impl<M: MemorySystem + ?Sized> MemorySystem for Box<M> {
@@ -111,6 +120,14 @@ impl<M: MemorySystem + ?Sized> MemorySystem for Box<M> {
     fn telemetry_counters(&self) -> simtel::ExtraCounters {
         (**self).telemetry_counters()
     }
+
+    fn save_state(&self, w: &mut simstate::StateSink) {
+        (**self).save_state(w)
+    }
+
+    fn load_state(&mut self, r: &mut simstate::StateSource) -> Result<(), simstate::StateError> {
+        (**self).load_state(r)
+    }
 }
 
 impl<C: CoreMemory + ?Sized> CoreMemory for Box<C> {
@@ -132,6 +149,14 @@ impl<C: CoreMemory + ?Sized> CoreMemory for Box<C> {
 
     fn telemetry_counters(&self) -> simtel::ExtraCounters {
         (**self).telemetry_counters()
+    }
+
+    fn save_state(&self, w: &mut simstate::StateSink) {
+        (**self).save_state(w)
+    }
+
+    fn load_state(&mut self, r: &mut simstate::StateSource) -> Result<(), simstate::StateError> {
+        (**self).load_state(r)
     }
 }
 
@@ -201,6 +226,39 @@ impl LlcModel {
         match self {
             LlcModel::Normal(c) => c.latency,
             LlcModel::Distill(d) => d.latency,
+        }
+    }
+
+    /// Serialize the LLC (variant discriminant + cache state).
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"LLC_");
+        match self {
+            LlcModel::Normal(c) => {
+                w.put_u8(0);
+                c.save_state(w);
+            }
+            LlcModel::Distill(d) => {
+                w.put_u8(1);
+                d.save_state(w);
+            }
+        }
+    }
+
+    /// Restore state saved by [`Self::save_state`]. The live variant must
+    /// match (the LLC flavor is configuration).
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"LLC_")?;
+        let disc = r.get_u8()?;
+        match (disc, &mut *self) {
+            (0, LlcModel::Normal(c)) => c.load_state(r),
+            (1, LlcModel::Distill(d)) => d.load_state(r),
+            _ => Err(simstate::StateError::BadValue {
+                what: "llc model discriminant",
+                found: u64::from(disc),
+            }),
         }
     }
 }
@@ -330,6 +388,27 @@ impl SharedBackend {
             mshr_stall_cycles: self.llc_mshr.stall_cycles,
             ..Default::default()
         }
+    }
+
+    /// Serialize the shared LLC + MSHR + DRAM state. The
+    /// `model_prefetch_traffic` flag is configuration and not stored.
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"BKND");
+        self.llc.save_state(w);
+        self.llc_mshr.save_state(w);
+        self.dram.save_state(w);
+    }
+
+    /// Restore state saved by [`Self::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"BKND")?;
+        self.llc.load_state(r)?;
+        self.llc_mshr.load_state(r)?;
+        self.dram.load_state(r)?;
+        Ok(())
     }
 }
 
@@ -592,6 +671,49 @@ impl CoreMemory for CoreSide {
             ..Default::default()
         }
     }
+
+    fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"CORE");
+        self.tlb.save_state(w);
+        self.l1d.save_state(w);
+        self.l2c.save_state(w);
+        self.l1_mshr.save_state(w);
+        self.l2_mshr.save_state(w);
+        self.l1_prefetcher.save_state(w);
+        self.l2_prefetcher.save_state(w);
+        w.put_u64(self.oracle_pos);
+        // pf_buf is per-access scratch (cleared before every use): skipped.
+        match &self.victim {
+            None => w.put_bool(false),
+            Some(vc) => {
+                w.put_bool(true);
+                vc.save_state(w);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut simstate::StateSource) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"CORE")?;
+        self.tlb.load_state(r)?;
+        self.l1d.load_state(r)?;
+        self.l2c.load_state(r)?;
+        self.l1_mshr.load_state(r)?;
+        self.l2_mshr.load_state(r)?;
+        self.l1_prefetcher.load_state(r)?;
+        self.l2_prefetcher.load_state(r)?;
+        self.oracle_pos = r.get_u64()?;
+        let has_victim = r.get_bool()?;
+        match (&mut self.victim, has_victim) {
+            (None, false) => Ok(()),
+            (Some(vc), true) => vc.load_state(r),
+            // Victim-cache presence is configuration; a mismatch means the
+            // snapshot came from a different system.
+            (_, found) => Err(simstate::StateError::BadValue {
+                what: "victim cache presence",
+                found: u64::from(found),
+            }),
+        }
+    }
 }
 
 /// A single-core machine: one [`CoreMemory`] plus its own backend.
@@ -636,6 +758,17 @@ impl<C: CoreMemory> MemorySystem for SingleCore<C> {
             mshr_stall_cycles: core.mshr_stall_cycles + back.mshr_stall_cycles,
             ..core
         }
+    }
+
+    fn save_state(&self, w: &mut simstate::StateSink) {
+        self.core.save_state(w);
+        self.backend.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut simstate::StateSource) -> Result<(), simstate::StateError> {
+        self.core.load_state(r)?;
+        self.backend.load_state(r)?;
+        Ok(())
     }
 }
 

@@ -136,6 +136,53 @@ impl MshrFile {
         MshrOutcome::Granted { start }
     }
 
+    /// Serialize occupancy (in entry order — order is observable through
+    /// merge/victim selection) plus counters. Capacity is written for
+    /// validation only.
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"MSHR");
+        w.put_usize(self.capacity);
+        w.put_u64s(&self.blocks);
+        w.put_u64s(&self.done);
+        w.put_u64(self.min_done);
+        w.put_u64(self.merges);
+        w.put_u64(self.stall_cycles);
+        w.put_u64(self.high_water);
+    }
+
+    /// Restore state saved by [`Self::save_state`] into a file of the same
+    /// capacity.
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"MSHR")?;
+        let capacity = r.get_usize()?;
+        if capacity != self.capacity {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "mshr capacity",
+                expected: self.capacity as u64,
+                found: capacity as u64,
+            });
+        }
+        let blocks = r.read_u64s_bounded("mshr blocks", self.capacity)?;
+        let done = r.read_u64s_bounded("mshr done", self.capacity)?;
+        if blocks.len() != done.len() {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "mshr done entries",
+                expected: blocks.len() as u64,
+                found: done.len() as u64,
+            });
+        }
+        self.blocks = blocks;
+        self.done = done;
+        self.min_done = r.get_u64()?;
+        self.merges = r.get_u64()?;
+        self.stall_cycles = r.get_u64()?;
+        self.high_water = r.get_u64()?;
+        Ok(())
+    }
+
     /// Record the completion cycle for a granted miss.
     pub fn commit(&mut self, block: u64, done: u64) {
         debug_assert!(self.done.len() < self.capacity);

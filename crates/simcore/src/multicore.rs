@@ -23,6 +23,8 @@ struct CoreState {
     rob: RobModel,
     instrs: u64,
     event_idx: usize,
+    /// Trace events consumed (monotonic — `event_idx` wraps, this does not).
+    consumed: u64,
     measuring: bool,
     measure_start_cycle: u64,
     finished: bool,
@@ -71,25 +73,31 @@ impl<C: CoreMemory> MulticoreEngine<C> {
     /// address of core `c`'s trace — how one recorded trace is replayed on
     /// several cores at once with disjoint address spaces (the paper's
     /// multi-programmed mixes).
-    // simlint::allow(panic-path): per-core vectors are all sized to the core count fixed at construction, which is also the only divisor
     pub fn run_with_offsets(
-        mut self,
+        self,
         traces: &[&CompactTrace],
         offsets: &[u64],
         width: usize,
         rob_entries: usize,
     ) -> Vec<SimResult> {
-        assert_eq!(traces.len(), self.mems.len());
-        assert_eq!(offsets.len(), self.mems.len());
-        assert!(traces.iter().all(|t| !t.is_empty()), "cannot replay an empty trace");
+        let mut run = self.start(offsets, width, rob_entries);
+        run.run_to_completion(traces);
+        run.finish()
+    }
 
-        let n = self.mems.len();
+    /// Begin a steppable run: build per-core state and return the driver.
+    /// Splitting construction from stepping lets the sweep layer advance
+    /// the machine in bounded spans and snapshot between them.
+    // simlint::allow(panic-path): `cores` is built with exactly `self.mems.len()` entries, so indexing mems by a cores index cannot fire
+    pub fn start(self, offsets: &[u64], width: usize, rob_entries: usize) -> MulticoreRun<C> {
+        assert_eq!(offsets.len(), self.mems.len());
         let every = self.tel.interval_instructions();
-        let mut cores: Vec<CoreState> = (0..n)
+        let mut cores: Vec<CoreState> = (0..self.mems.len())
             .map(|_| CoreState {
                 rob: RobModel::new(width, rob_entries),
                 instrs: 0,
                 event_idx: 0,
+                consumed: 0,
                 measuring: self.window.warmup == 0,
                 measure_start_cycle: 0,
                 finished: false,
@@ -109,21 +117,64 @@ impl<C: CoreMemory> MulticoreEngine<C> {
                 );
             }
         }
+        MulticoreRun { engine: self, cores, offsets: offsets.to_vec() }
+    }
+}
+
+/// An in-flight multi-core run: the engine plus per-core replay state,
+/// advanced one scheduler step at a time so the sweep layer can take
+/// crash-recovery snapshots between bounded spans.
+pub struct MulticoreRun<C: CoreMemory> {
+    engine: MulticoreEngine<C>,
+    cores: Vec<CoreState>,
+    offsets: Vec<u64>,
+}
+
+impl<C: CoreMemory> MulticoreRun<C> {
+    /// Is every core past its measurement window?
+    pub fn done(&self) -> bool {
+        self.cores.iter().all(|c| c.finished)
+    }
+
+    /// Total scheduler steps consumed so far (one trace event per step),
+    /// summed over cores. Deterministic, so it doubles as the snapshot
+    /// position carried in the `SSTATEv1` header.
+    pub fn steps(&self) -> u64 {
+        self.cores.iter().map(|c| c.consumed).sum()
+    }
+
+    /// Advance the machine by at most `max_steps` scheduler steps (each
+    /// step replays one trace event on the core with the smallest local
+    /// cycle). Returns `true` while any core is still running.
+    // simlint::allow(panic-path): per-core vectors are all sized to the core count fixed at construction, which is also the only divisor
+    pub fn step_span(&mut self, traces: &[&CompactTrace], max_steps: u64) -> bool {
+        assert_eq!(traces.len(), self.cores.len());
+        assert!(traces.iter().all(|t| !t.is_empty()), "cannot replay an empty trace");
+        let n = self.cores.len();
+        let every = self.engine.tel.interval_instructions();
+        let window = self.engine.window;
+        let mut stepped = 0u64;
         // Advance the unfinished core with the smallest local cycle.
-        while let Some(cid) =
-            (0..n).filter(|&i| !cores[i].finished).min_by_key(|&i| cores[i].rob.current_cycle())
-        {
-            let core = &mut cores[cid];
+        while stepped < max_steps {
+            let Some(cid) = (0..n)
+                .filter(|&i| !self.cores[i].finished)
+                .min_by_key(|&i| self.cores[i].rob.current_cycle())
+            else {
+                return false;
+            };
+            stepped += 1;
+            let core = &mut self.cores[cid];
             let trace = traces[cid];
             let ev = trace.events[core.event_idx];
             core.event_idx = (core.event_idx + 1) % trace.events.len();
+            core.consumed += 1;
 
             let before = core.instrs;
             if ev.is_mem() {
                 let mut r = ev.as_mem_ref();
-                r.addr += offsets[cid];
+                r.addr += self.offsets[cid];
                 let d = core.rob.dispatch_slot();
-                let out = self.mems[cid].access(&r, d, &mut self.backend);
+                let out = self.engine.mems[cid].access(&r, d, &mut self.engine.backend);
                 let completion = if r.is_write { d + 1 } else { out.completion };
                 core.rob.complete_at(completion);
                 core.instrs += 1;
@@ -134,17 +185,17 @@ impl<C: CoreMemory> MulticoreEngine<C> {
 
             // Warmup boundary: reset this core's private stats.
             let crossed_warmup =
-                !core.measuring && before < self.window.warmup && core.instrs >= self.window.warmup;
+                !core.measuring && before < window.warmup && core.instrs >= window.warmup;
             if crossed_warmup {
                 core.measuring = true;
                 core.measure_start_cycle = core.rob.current_cycle();
-                self.mems[cid].reset_stats();
+                self.engine.mems[cid].reset_stats();
                 if every != 0 {
                     core.tel.arm(
                         every,
                         core.rob.current_cycle(),
-                        self.mems[cid].collect_core_stats(),
-                        self.mems[cid].telemetry_counters(),
+                        self.engine.mems[cid].collect_core_stats(),
+                        self.engine.mems[cid].telemetry_counters(),
                         core.rob.stalls,
                     );
                 }
@@ -153,28 +204,28 @@ impl<C: CoreMemory> MulticoreEngine<C> {
             // Interval snapshot (same cadence and monotonicity rules as the
             // single-core engine; at most one per event).
             if core.tel.next_instrs != 0 && core.measuring && !core.finished {
-                let measured = core.instrs.saturating_sub(self.window.warmup);
+                let measured = core.instrs.saturating_sub(window.warmup);
                 let now = core.rob.current_cycle();
                 if measured >= core.tel.next_instrs && now > core.tel.last_cycle {
                     let interval = core.tel.build(
                         cid as u32,
                         now,
                         measured,
-                        self.mems[cid].collect_core_stats(),
-                        self.mems[cid].telemetry_counters(),
+                        self.engine.mems[cid].collect_core_stats(),
+                        self.engine.mems[cid].telemetry_counters(),
                         core.rob.stalls,
                     );
-                    self.tel.interval(&interval);
+                    self.engine.tel.interval(&interval);
                     core.tel.next_instrs = (measured / every + 1) * every;
                 }
             }
 
             // Measurement complete for this core?
-            if !core.finished && core.instrs >= self.window.total() {
+            if !core.finished && core.instrs >= window.total() {
                 core.finished = true;
                 let end = core.rob.drain();
                 core.result_cycles = end.saturating_sub(core.measure_start_cycle).max(1);
-                core.result_instrs = core.instrs - self.window.warmup.min(core.instrs);
+                core.result_instrs = core.instrs - window.warmup.min(core.instrs);
                 // Tail flush so this core's interval sums cover its window.
                 if core.tel.next_instrs != 0 {
                     let measured = core.result_instrs;
@@ -184,35 +235,116 @@ impl<C: CoreMemory> MulticoreEngine<C> {
                             cid as u32,
                             end_cycle,
                             measured,
-                            self.mems[cid].collect_core_stats(),
-                            self.mems[cid].telemetry_counters(),
+                            self.engine.mems[cid].collect_core_stats(),
+                            self.engine.mems[cid].telemetry_counters(),
                             core.rob.stalls,
                         );
-                        self.tel.interval(&interval);
+                        self.engine.tel.interval(&interval);
                     }
                 }
             }
 
             // Once the last core crosses warmup, reset the shared backend so
             // LLC/DRAM counters cover only the measured region.
-            if crossed_warmup && cores.iter().all(|c| c.measuring) {
-                self.backend.reset_stats();
+            if crossed_warmup && self.cores.iter().all(|c| c.measuring) {
+                self.engine.backend.reset_stats();
             }
         }
+        !self.done()
+    }
 
-        // Each per-core result carries the shared LLC/DRAM counters (they
-        // describe the whole machine, so every core reports the same
-        // backend numbers — previously they were silently dropped).
-        cores
+    /// Replay until every core finishes its window.
+    pub fn run_to_completion(&mut self, traces: &[&CompactTrace]) {
+        while self.step_span(traces, u64::MAX) {}
+    }
+
+    /// Per-core results. Each carries the shared LLC/DRAM counters (they
+    /// describe the whole machine, so every core reports the same backend
+    /// numbers).
+    pub fn finish(self) -> Vec<SimResult> {
+        self.cores
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                let mut stats = self.mems[i].collect_core_stats();
-                stats.llc = *self.backend.llc.stats();
-                stats.dram = self.backend.dram.stats;
+                let mut stats = self.engine.mems[i].collect_core_stats();
+                stats.llc = *self.engine.backend.llc.stats();
+                stats.dram = self.engine.backend.dram.stats;
                 SimResult { instructions: c.result_instrs, cycles: c.result_cycles, stats }
             })
             .collect()
+    }
+
+    /// Serialize the full machine: every core's replay cursor + ROB +
+    /// private memory side, then the shared backend. Telemetry interval
+    /// state is deliberately not stored (pure observer; intervals emitted
+    /// after a restore cover only post-restore execution).
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"MC__");
+        w.put_usize(self.cores.len());
+        for (i, c) in self.cores.iter().enumerate() {
+            c.rob.save_state(w);
+            w.put_u64(c.instrs);
+            w.put_usize(c.event_idx);
+            w.put_u64(c.consumed);
+            w.put_bool(c.measuring);
+            w.put_u64(c.measure_start_cycle);
+            w.put_bool(c.finished);
+            w.put_u64(c.result_cycles);
+            w.put_u64(c.result_instrs);
+            w.put_u64(self.offsets[i]);
+            self.engine.mems[i].save_state(w);
+        }
+        self.engine.backend.save_state(w);
+    }
+
+    /// Restore state saved by [`Self::save_state`] into a run started with
+    /// the same configuration, core count, and window.
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"MC__")?;
+        let n = r.get_usize()?;
+        if n != self.cores.len() {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "core count",
+                expected: self.cores.len() as u64,
+                found: n as u64,
+            });
+        }
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            c.rob.load_state(r)?;
+            c.instrs = r.get_u64()?;
+            c.event_idx = r.get_usize()?;
+            c.consumed = r.get_u64()?;
+            c.measuring = r.get_bool()?;
+            c.measure_start_cycle = r.get_u64()?;
+            c.finished = r.get_bool()?;
+            c.result_cycles = r.get_u64()?;
+            c.result_instrs = r.get_u64()?;
+            let offset = r.get_u64()?;
+            if let Some(slot) = self.offsets.get_mut(i) {
+                *slot = offset;
+            }
+            c.tel = TelSnap::default();
+            self.engine.mems[i].load_state(r)?;
+        }
+        self.engine.backend.load_state(r)
+    }
+
+    /// One-call snapshot payload for an `SSTATEv1` container.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = simstate::StateSink::new();
+        self.save_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restore from a payload produced by [`Self::snapshot`], requiring the
+    /// payload to be fully consumed.
+    pub fn restore(&mut self, payload: &[u8]) -> Result<(), simstate::StateError> {
+        let mut r = simstate::StateSource::new(payload);
+        self.load_state(&mut r)?;
+        r.expect_end()
     }
 }
 
@@ -388,6 +520,58 @@ mod tests {
         }
         // Shared-backend events carry the SHARED_CORE stamp.
         assert!(out.events.iter().all(|ev| ev.core < 2 || ev.core == simtel::SHARED_CORE));
+    }
+
+    #[test]
+    fn multicore_snapshot_restore_then_run_is_bit_identical() {
+        // Prefetchers on: snapshot the richest state the hierarchy holds.
+        let cfg = SystemConfig::baseline(4);
+        let traces: Vec<CompactTrace> =
+            (0..4).map(|i| make_trace(i + 21, 20_000, 3_000_000)).collect();
+        let refs: Vec<&CompactTrace> = traces.iter().collect();
+        let offsets = [0u64, 1 << 32, 2 << 32, 3 << 32];
+        let window = Window::new(2000, 18_000);
+        let build = || {
+            let mems: Vec<CoreSide> = (0..4).map(|_| CoreSide::new(&cfg)).collect();
+            MulticoreEngine::new(mems, SharedBackend::new(&cfg), window)
+        };
+
+        let mut straight = build().start(&offsets, 4, 224);
+        straight.run_to_completion(&refs);
+        let want = straight.finish();
+
+        // Split mid-warmup and mid-measurement.
+        for split in [3_000u64, 40_000] {
+            let mut first = build().start(&offsets, 4, 224);
+            assert!(first.step_span(&refs, split), "machine still running at step {split}");
+            assert_eq!(first.steps(), split);
+            let payload = first.snapshot();
+
+            let mut resumed = build().start(&offsets, 4, 224);
+            resumed.restore(&payload).unwrap();
+            assert_eq!(resumed.steps(), split);
+            resumed.run_to_completion(&refs);
+            assert_eq!(resumed.finish(), want, "diverged after restore at step {split}");
+        }
+    }
+
+    #[test]
+    fn multicore_restore_rejects_wrong_core_count() {
+        let cfg = cfg();
+        let trace = make_trace(5, 2000, 10_000);
+        let mems: Vec<CoreSide> = (0..2).map(|_| CoreSide::new(&cfg)).collect();
+        let mut run = MulticoreEngine::new(mems, SharedBackend::new(&cfg), Window::new(0, 5000))
+            .start(&[0, 0], 4, 224);
+        run.step_span(&[&trace, &trace], 100);
+        let payload = run.snapshot();
+
+        let mems = vec![CoreSide::new(&cfg)];
+        let mut other = MulticoreEngine::new(mems, SharedBackend::new(&cfg), Window::new(0, 5000))
+            .start(&[0], 4, 224);
+        assert!(matches!(
+            other.restore(&payload),
+            Err(simstate::StateError::ShapeMismatch { what: "core count", .. })
+        ));
     }
 
     #[test]

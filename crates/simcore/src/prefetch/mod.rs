@@ -78,6 +78,54 @@ impl PrefetchState {
             PrefetchState::Stride(p) => p.on_access(pc, block, hit, out),
         }
     }
+
+    /// Serialize the prefetcher (variant discriminant + training state).
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"PRF_");
+        match self {
+            PrefetchState::None => w.put_u8(0),
+            PrefetchState::NextLine(p) => {
+                w.put_u8(1);
+                p.save_state(w);
+            }
+            PrefetchState::Spp(p) => {
+                w.put_u8(2);
+                p.save_state(w);
+            }
+            PrefetchState::Stride(p) => {
+                w.put_u8(3);
+                p.save_state(w);
+            }
+        }
+    }
+
+    /// Restore state saved by [`Self::save_state`]. The live variant must
+    /// match the stored one (the prefetcher kind is configuration).
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"PRF_")?;
+        let disc = r.get_u8()?;
+        let expected = match self {
+            PrefetchState::None => 0,
+            PrefetchState::NextLine(_) => 1,
+            PrefetchState::Spp(_) => 2,
+            PrefetchState::Stride(_) => 3,
+        };
+        if disc != expected {
+            return Err(simstate::StateError::BadValue {
+                what: "prefetcher discriminant",
+                found: u64::from(disc),
+            });
+        }
+        match self {
+            PrefetchState::None => Ok(()),
+            PrefetchState::NextLine(p) => p.load_state(r),
+            PrefetchState::Spp(p) => p.load_state(r),
+            PrefetchState::Stride(p) => p.load_state(r),
+        }
+    }
 }
 
 #[cfg(test)]

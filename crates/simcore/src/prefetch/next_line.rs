@@ -36,6 +36,39 @@ impl NextLine {
     pub fn new() -> Self {
         Self::default()
     }
+
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.put_usize(self.table.len());
+        for e in &self.table {
+            w.put_u32(u32::from(e.pc));
+            w.put_u64(e.last_block);
+            w.put_bool(e.valid);
+        }
+    }
+
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        let n = r.get_usize()?;
+        if n != self.table.len() {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "next-line table",
+                expected: self.table.len() as u64,
+                found: n as u64,
+            });
+        }
+        for e in &mut self.table {
+            let pc = r.get_u32()?;
+            e.pc = u16::try_from(pc).map_err(|_| simstate::StateError::BadValue {
+                what: "next-line pc",
+                found: u64::from(pc),
+            })?;
+            e.last_block = r.get_u64()?;
+            e.valid = r.get_bool()?;
+        }
+        Ok(())
+    }
 }
 
 impl Prefetcher for NextLine {

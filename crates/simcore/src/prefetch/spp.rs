@@ -148,6 +148,19 @@ impl PageIndex {
         self.keys.fill(IDX_EMPTY);
         self.tombs = 0;
     }
+
+    fn save_state(&self, w: &mut simstate::StateSink) {
+        w.put_u64s(&self.keys);
+        w.put_u32s(&self.slots);
+        w.put_usize(self.tombs);
+    }
+
+    fn load_state(&mut self, r: &mut simstate::StateSource) -> Result<(), simstate::StateError> {
+        r.read_u64s_into("spp index keys", &mut self.keys)?;
+        r.read_u32s_into("spp index slots", &mut self.slots)?;
+        self.tombs = r.get_usize()?;
+        Ok(())
+    }
 }
 
 /// Sentinel for the LRU list's null link.
@@ -249,6 +262,78 @@ impl Spp {
         };
         self.index.insert(page, slot);
         (slot, false)
+    }
+
+    /// Serialize the signature table, pattern table, page index, recency
+    /// list, and free-slot cursor. The config is not stored (validated via
+    /// the snapshot's config hash); geometry is checked on restore.
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.put_usize(self.sig_table.len());
+        for e in &self.sig_table {
+            w.put_u64(e.page);
+            w.put_bool(e.valid);
+            w.put_u32(e.last_offset as u32);
+            w.put_u32(e.signature);
+        }
+        w.put_usize(self.pattern_table.len());
+        for e in &self.pattern_table {
+            w.put_u32(e.delta as u32);
+            w.put_u8(e.confidence);
+        }
+        self.index.save_state(w);
+        w.put_u32s(&self.lru_prev);
+        w.put_u32s(&self.lru_next);
+        w.put_u32(self.lru_head);
+        w.put_u32(self.lru_tail);
+        w.put_usize(self.free_next);
+    }
+
+    /// Restore state saved by [`Self::save_state`] into an SPP of the same
+    /// configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        let sig_len = r.get_usize()?;
+        if sig_len != self.sig_table.len() {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "spp signature table",
+                expected: self.sig_table.len() as u64,
+                found: sig_len as u64,
+            });
+        }
+        for e in &mut self.sig_table {
+            e.page = r.get_u64()?;
+            e.valid = r.get_bool()?;
+            e.last_offset = r.get_u32()? as i32;
+            e.signature = r.get_u32()?;
+        }
+        let pat_len = r.get_usize()?;
+        if pat_len != self.pattern_table.len() {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "spp pattern table",
+                expected: self.pattern_table.len() as u64,
+                found: pat_len as u64,
+            });
+        }
+        for e in &mut self.pattern_table {
+            e.delta = r.get_u32()? as i32;
+            e.confidence = r.get_u8()?;
+        }
+        self.index.load_state(r)?;
+        r.read_u32s_into("spp lru_prev", &mut self.lru_prev)?;
+        r.read_u32s_into("spp lru_next", &mut self.lru_next)?;
+        self.lru_head = r.get_u32()?;
+        self.lru_tail = r.get_u32()?;
+        let free_next = r.get_usize()?;
+        if free_next > self.sig_table.len() {
+            return Err(simstate::StateError::BadValue {
+                what: "spp free_next",
+                found: free_next as u64,
+            });
+        }
+        self.free_next = free_next;
+        Ok(())
     }
 
     fn train(&mut self, sig: u32, delta: i32) {

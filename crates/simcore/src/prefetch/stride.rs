@@ -38,6 +38,45 @@ impl Default for StridePrefetcher {
     }
 }
 
+impl StridePrefetcher {
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.put_usize(self.table.len());
+        for e in &self.table {
+            w.put_u32(u32::from(e.pc));
+            w.put_u64(e.last_block);
+            w.put_i64(e.stride);
+            w.put_u8(e.confidence);
+            w.put_bool(e.valid);
+        }
+    }
+
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        let n = r.get_usize()?;
+        if n != self.table.len() {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "stride table",
+                expected: self.table.len() as u64,
+                found: n as u64,
+            });
+        }
+        for e in &mut self.table {
+            let pc = r.get_u32()?;
+            e.pc = u16::try_from(pc).map_err(|_| simstate::StateError::BadValue {
+                what: "stride pc",
+                found: u64::from(pc),
+            })?;
+            e.last_block = r.get_u64()?;
+            e.stride = r.get_i64()?;
+            e.confidence = r.get_u8()?;
+            e.valid = r.get_bool()?;
+        }
+        Ok(())
+    }
+}
+
 impl Prefetcher for StridePrefetcher {
     fn on_access(&mut self, pc: u16, block: u64, _hit: bool, out: &mut Vec<u64>) {
         let slot = &mut self.table[pc as usize % TABLE_SIZE];

@@ -111,6 +111,65 @@ impl ReplState {
         }
     }
 
+    /// Serialize the policy state (variant discriminant + metadata arrays).
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"REPL");
+        match self {
+            ReplState::Lru { stamps, clock, .. } => {
+                w.put_u8(0);
+                w.put_u64s(stamps);
+                w.put_u64(*clock);
+            }
+            ReplState::Srrip { rrpv, .. } => {
+                w.put_u8(1);
+                w.put_bytes(rrpv);
+            }
+            ReplState::TOpt { next_use, stamps, clock, .. } => {
+                w.put_u8(2);
+                w.put_u64s(next_use);
+                w.put_u64s(stamps);
+                w.put_u64(*clock);
+            }
+        }
+    }
+
+    /// Restore policy state saved by [`Self::save_state`]. The live variant
+    /// and geometry must match the stored one (the policy kind is part of
+    /// the system configuration, so a mismatch means a stale snapshot).
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"REPL")?;
+        let disc = r.get_u8()?;
+        let expected = match self {
+            ReplState::Lru { .. } => 0,
+            ReplState::Srrip { .. } => 1,
+            ReplState::TOpt { .. } => 2,
+        };
+        if disc != expected {
+            return Err(simstate::StateError::BadValue {
+                what: "replacement policy discriminant",
+                found: u64::from(disc),
+            });
+        }
+        match self {
+            ReplState::Lru { stamps, clock, .. } => {
+                r.read_u64s_into("lru stamps", stamps)?;
+                *clock = r.get_u64()?;
+            }
+            ReplState::Srrip { rrpv, .. } => {
+                r.read_bytes_into("srrip rrpv", rrpv)?;
+            }
+            ReplState::TOpt { next_use, stamps, clock, .. } => {
+                r.read_u64s_into("topt next_use", next_use)?;
+                r.read_u64s_into("topt stamps", stamps)?;
+                *clock = r.get_u64()?;
+            }
+        }
+        Ok(())
+    }
+
     #[inline]
     pub fn victim(&mut self, set: usize) -> usize {
         match self {

@@ -226,6 +226,97 @@ impl RobModel {
         }
         self.last_retire_cycle.max(self.cycle)
     }
+
+    /// Serialize the full core-model state (ring contents included — an
+    /// in-flight long-latency load must survive a checkpoint).
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"ROB_");
+        w.put_usize(self.capacity);
+        w.put_usize(self.width);
+        w.put_u64s(&self.buf);
+        w.put_usize(self.head);
+        w.put_usize(self.len);
+        w.put_u64(self.cycle);
+        w.put_usize(self.dispatched_this_cycle);
+        w.put_u64(self.last_retire_cycle);
+        w.put_usize(self.retired_in_cycle);
+        w.put_u64(self.retired);
+        w.put_u64(self.stalls.rob_full);
+        w.put_u64(self.stalls.mshr_full);
+        w.put_u64(self.stalls.dram_wait);
+        w.put_u64(self.stalls.busy);
+    }
+
+    /// Restore state saved by [`RobModel::save_state`]. Geometry (capacity,
+    /// width, ring size) must match this model's construction parameters;
+    /// ring indices are domain-checked so a corrupt snapshot can never
+    /// install an out-of-bounds head or an over-full ROB.
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        use simstate::StateError;
+        r.expect_tag(b"ROB_")?;
+        let capacity = r.get_usize()?;
+        if capacity != self.capacity {
+            return Err(StateError::ShapeMismatch {
+                what: "rob capacity",
+                expected: self.capacity as u64,
+                found: capacity as u64,
+            });
+        }
+        let width = r.get_usize()?;
+        if width != self.width {
+            return Err(StateError::ShapeMismatch {
+                what: "rob width",
+                expected: self.width as u64,
+                found: width as u64,
+            });
+        }
+        let mut buf = vec![0u64; self.buf.len()];
+        r.read_u64s_into("rob ring", &mut buf)?;
+        let head = r.get_usize()?;
+        if head > self.ring_mask {
+            return Err(StateError::BadValue { what: "rob head", found: head as u64 });
+        }
+        let len = r.get_usize()?;
+        if len > self.capacity {
+            return Err(StateError::BadValue { what: "rob len", found: len as u64 });
+        }
+        let cycle = r.get_u64()?;
+        let dispatched_this_cycle = r.get_usize()?;
+        if dispatched_this_cycle > self.width {
+            return Err(StateError::BadValue {
+                what: "rob dispatched_this_cycle",
+                found: dispatched_this_cycle as u64,
+            });
+        }
+        let last_retire_cycle = r.get_u64()?;
+        let retired_in_cycle = r.get_usize()?;
+        if retired_in_cycle > self.width {
+            return Err(StateError::BadValue {
+                what: "rob retired_in_cycle",
+                found: retired_in_cycle as u64,
+            });
+        }
+        let retired = r.get_u64()?;
+        let stalls = StallBuckets {
+            rob_full: r.get_u64()?,
+            mshr_full: r.get_u64()?,
+            dram_wait: r.get_u64()?,
+            busy: r.get_u64()?,
+        };
+        self.buf.copy_from_slice(&buf);
+        self.head = head;
+        self.len = len;
+        self.cycle = cycle;
+        self.dispatched_this_cycle = dispatched_this_cycle;
+        self.last_retire_cycle = last_retire_cycle;
+        self.retired_in_cycle = retired_in_cycle;
+        self.retired = retired;
+        self.stalls = stalls;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -362,6 +453,55 @@ mod tests {
             (end, rob.current_cycle(), rob.retired, rob.stalls)
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn snapshot_mid_flight_restores_bit_identically() {
+        // Save with in-flight loads pending, restore into a fresh model,
+        // and run both through the same tail: every observable matches.
+        let mut a = RobModel::new(4, 32);
+        let d = a.dispatch_slot();
+        a.complete_tagged(d + 500, StallTag::Dram);
+        a.bubbles(40);
+
+        let mut w = simstate::StateSink::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut b = RobModel::new(4, 32);
+        let mut r = simstate::StateSource::new(&bytes);
+        b.load_state(&mut r).unwrap();
+        r.expect_end().unwrap();
+
+        let tail = |rob: &mut RobModel| {
+            let d = rob.dispatch_slot();
+            rob.complete_tagged(d + 100, StallTag::MshrFull);
+            rob.bubbles(300);
+            let end = rob.drain();
+            (end, rob.current_cycle(), rob.retired, rob.stalls)
+        };
+        assert_eq!(tail(&mut a), tail(&mut b));
+    }
+
+    #[test]
+    fn snapshot_rejects_geometry_and_domain_corruption() {
+        let mut a = RobModel::new(4, 32);
+        a.bubbles(10);
+        let mut w = simstate::StateSink::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // Different construction geometry.
+        let mut wrong = RobModel::new(4, 64);
+        assert!(wrong.load_state(&mut simstate::StateSource::new(&bytes)).is_err());
+
+        // Domain corruption: a head index beyond the ring must be refused
+        // (capacity and width are the first two u64s after the 4-byte tag,
+        // the ring length prefix + 32 entries follow, then head).
+        let mut evil = bytes.clone();
+        let head_off = 4 + 8 + 8 + 8 + 32 * 8;
+        evil[head_off..head_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut b = RobModel::new(4, 32);
+        assert!(b.load_state(&mut simstate::StateSource::new(&evil)).is_err());
     }
 
     #[test]

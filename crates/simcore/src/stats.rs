@@ -58,6 +58,32 @@ impl CacheStats {
     pub fn reset(&mut self) {
         *self = CacheStats::default();
     }
+
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.put_u64(self.accesses);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.fills);
+        w.put_u64(self.prefetch_fills);
+        w.put_u64(self.prefetch_hits);
+        w.put_u64(self.writebacks);
+        w.put_u64(self.invalidations);
+    }
+
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        self.accesses = r.get_u64()?;
+        self.hits = r.get_u64()?;
+        self.misses = r.get_u64()?;
+        self.fills = r.get_u64()?;
+        self.prefetch_fills = r.get_u64()?;
+        self.prefetch_hits = r.get_u64()?;
+        self.writebacks = r.get_u64()?;
+        self.invalidations = r.get_u64()?;
+        Ok(())
+    }
 }
 
 /// Counters for the DRAM model.
@@ -96,6 +122,30 @@ impl DramStats {
 
     pub fn reset(&mut self) {
         *self = DramStats::default();
+    }
+
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.put_u64(self.reads);
+        w.put_u64(self.writes);
+        w.put_u64(self.row_hits);
+        w.put_u64(self.row_misses);
+        w.put_u64(self.row_conflicts);
+        w.put_u64(self.total_read_latency);
+        w.put_u64(self.prefetches_dropped);
+    }
+
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        self.reads = r.get_u64()?;
+        self.writes = r.get_u64()?;
+        self.row_hits = r.get_u64()?;
+        self.row_misses = r.get_u64()?;
+        self.row_conflicts = r.get_u64()?;
+        self.total_read_latency = r.get_u64()?;
+        self.prefetches_dropped = r.get_u64()?;
+        Ok(())
     }
 }
 

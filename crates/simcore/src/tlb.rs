@@ -45,6 +45,37 @@ impl TlbLevel {
         (page as usize) & (self.sets - 1)
     }
 
+    fn save_state(&self, w: &mut simstate::StateSink) {
+        w.put_usize(self.sets);
+        w.put_usize(self.ways);
+        w.put_u64s(&self.pages);
+        w.put_u64s(&self.stamps);
+        w.put_u64(self.clock);
+    }
+
+    fn load_state(&mut self, r: &mut simstate::StateSource) -> Result<(), simstate::StateError> {
+        let sets = r.get_usize()?;
+        if sets != self.sets {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "tlb sets",
+                expected: self.sets as u64,
+                found: sets as u64,
+            });
+        }
+        let ways = r.get_usize()?;
+        if ways != self.ways {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "tlb ways",
+                expected: self.ways as u64,
+                found: ways as u64,
+            });
+        }
+        r.read_u64s_into("tlb pages", &mut self.pages)?;
+        r.read_u64s_into("tlb stamps", &mut self.stamps)?;
+        self.clock = r.get_u64()?;
+        Ok(())
+    }
+
     #[inline]
     fn lookup(&mut self, page: u64) -> bool {
         let set = self.set_of(page);
@@ -120,6 +151,29 @@ impl TlbHierarchy {
         self.stlb.fill(page);
         self.dtlb.fill(page);
         self.stlb.latency + PAGE_WALK_LATENCY
+    }
+
+    /// Serialize both levels (entries + LRU stamps) and their stats.
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"TLB_");
+        self.dtlb.save_state(w);
+        self.stlb.save_state(w);
+        self.dtlb_stats.save_state(w);
+        self.stlb_stats.save_state(w);
+    }
+
+    /// Restore state saved by [`Self::save_state`] into a hierarchy of the
+    /// same geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"TLB_")?;
+        self.dtlb.load_state(r)?;
+        self.stlb.load_state(r)?;
+        self.dtlb_stats.load_state(r)?;
+        self.stlb_stats.load_state(r)?;
+        Ok(())
     }
 }
 

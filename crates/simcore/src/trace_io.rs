@@ -112,6 +112,25 @@ impl Fnv1a {
     }
 }
 
+/// FNV-1a checksum of a trace's logical content — exactly the value
+/// [`write_trace`] places in the integrity footer, computed without
+/// serializing. This is the trace's *identity*: sweep resume keys and
+/// checkpoint headers embed it so records and snapshots taken against a
+/// regenerated (different) trace are detected and re-run, never silently
+/// reused.
+pub fn trace_checksum(trace: &CompactTrace) -> u64 {
+    let mut sum = Fnv1a::new();
+    sum.update(&trace.instructions.to_le_bytes());
+    sum.update(&(trace.events.len() as u64).to_le_bytes());
+    for e in &trace.events {
+        sum.update(&e.addr.to_le_bytes());
+        sum.update(&e.next_use.to_le_bytes());
+        sum.update(&e.pc.to_le_bytes());
+        sum.update(&[e.sid, e.flags]);
+    }
+    sum.finish()
+}
+
 /// Serialize a trace (with the integrity footer).
 pub fn write_trace<W: Write>(trace: &CompactTrace, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
@@ -237,6 +256,19 @@ mod tests {
         let back = read_trace(&buf[..]).unwrap();
         assert_eq!(trace.instructions, back.instructions);
         assert_eq!(trace.events, back.events);
+    }
+
+    #[test]
+    fn trace_checksum_matches_footer() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let footer = u64::from_le_bytes(buf[buf.len() - 8..].try_into().unwrap());
+        assert_eq!(trace_checksum(&trace), footer);
+        // Distinct traces get distinct identities.
+        let mut other = trace.clone();
+        other.events[0].addr ^= 0x40;
+        assert_ne!(trace_checksum(&other), footer);
     }
 
     #[test]

@@ -93,6 +93,40 @@ impl VictimCache {
     pub fn occupancy(&self) -> usize {
         self.blocks.iter().filter(|&&b| b != INVALID_BLOCK).count()
     }
+
+    /// Serialize slots, LRU stamps, dirtiness, the clock, and stats.
+    pub fn save_state(&self, w: &mut simstate::StateSink) {
+        w.tag(b"VIC_");
+        w.put_usize(self.blocks.len());
+        w.put_u64s(&self.blocks);
+        w.put_u64s(&self.stamps);
+        w.put_bools(&self.dirty);
+        w.put_u64(self.clock);
+        self.stats.save_state(w);
+    }
+
+    /// Restore state saved by [`Self::save_state`] into a buffer of the
+    /// same entry count.
+    pub fn load_state(
+        &mut self,
+        r: &mut simstate::StateSource,
+    ) -> Result<(), simstate::StateError> {
+        r.expect_tag(b"VIC_")?;
+        let entries = r.get_usize()?;
+        if entries != self.blocks.len() {
+            return Err(simstate::StateError::ShapeMismatch {
+                what: "victim cache entries",
+                expected: self.blocks.len() as u64,
+                found: entries as u64,
+            });
+        }
+        r.read_u64s_into("victim blocks", &mut self.blocks)?;
+        r.read_u64s_into("victim stamps", &mut self.stamps)?;
+        r.read_bools_into("victim dirty", &mut self.dirty)?;
+        self.clock = r.get_u64()?;
+        self.stats.load_state(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

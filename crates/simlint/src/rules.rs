@@ -155,11 +155,13 @@ impl FileCtx {
             "unordered-map" => !matches!(self.crate_name.as_str(), "bench" | "simlint"),
             // Time belongs to bench (wall-clock reporting) and to the
             // workloads manifest recorder; the simulation stack is
-            // cycle-accurate and must never read host clocks.
+            // cycle-accurate and must never read host clocks. simstate is
+            // in scope so checkpoint retries stay count-bounded, never
+            // backoff-timed.
             "wall-clock" => {
                 matches!(
                     self.crate_name.as_str(),
-                    "simcore" | "core" | "kernels" | "graph" | "simtel"
+                    "simcore" | "core" | "kernels" | "graph" | "simtel" | "simstate"
                 )
             }
             "narrowing-cast" => self.crate_name == "simcore",
@@ -167,7 +169,9 @@ impl FileCtx {
             "forbid-unsafe" => self.is_crate_root,
             // Simulator libraries report through stats and telemetry sinks;
             // stray prints interleave with harness output and desync logs.
-            "no-println" => matches!(self.crate_name.as_str(), "simcore" | "core" | "simtel"),
+            "no-println" => {
+                matches!(self.crate_name.as_str(), "simcore" | "core" | "simtel" | "simstate")
+            }
             // The semantic rules guard result determinism and hot-path
             // integrity everywhere but the linter's own sources (which
             // deliberately exercise forbidden shapes in fixtures/tests).

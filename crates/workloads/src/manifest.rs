@@ -5,8 +5,10 @@
 //! (in input order, flushed per line), so a killed process always leaves a
 //! valid resumable prefix. On success the partial file is atomically
 //! renamed over `<path>` — a complete manifest either exists in full or
-//! not at all, and a transient rename failure is retried once before being
-//! reported as a typed [`SimError`] (never an `expect` abort).
+//! not at all. Transient I/O failures (line writes, the final rename) go
+//! through [`simstate::retry_io`]'s bounded deterministic ladder —
+//! [`simstate::IO_RETRY_ATTEMPTS`] tries, no wall-clock backoff — before
+//! surfacing as a typed [`SimError`] (never an `expect` abort).
 //!
 //! The JSON parser below is deliberately tiny: the vendored offline
 //! `serde` stand-in only serializes, and manifest lines are flat objects
@@ -66,11 +68,11 @@ impl ManifestWriter {
     pub fn submit(&mut self, index: usize, line: String) -> Result<(), SimError> {
         self.buffered.insert(index, line);
         while let Some(line) = self.buffered.remove(&self.next) {
-            // Retry the write once: a transient I/O hiccup must not cost a
-            // multi-hour sweep its manifest.
-            if self.write_line(&line).is_err() {
-                self.write_line(&line).map_err(|e| SimError::manifest_io(&self.partial, e))?;
-            }
+            // Bounded retry ladder: a transient I/O hiccup must not cost a
+            // multi-hour sweep its manifest, but a persistent fault must
+            // surface as a typed error after a fixed number of attempts.
+            simstate::retry_io(simstate::IO_RETRY_ATTEMPTS, || self.write_line(&line))
+                .map_err(|e| SimError::manifest_io(&self.partial, e))?;
             self.next += 1;
         }
         Ok(())
@@ -88,7 +90,7 @@ impl ManifestWriter {
     }
 
     /// Publish: verify every index arrived, then atomically rename the
-    /// partial file over the final path (one retry on failure).
+    /// partial file over the final path (bounded retry on failure).
     pub fn finish(mut self, total: usize) -> Result<(), SimError> {
         if self.next != total || !self.buffered.is_empty() {
             return Err(SimError::manifest_io(
@@ -96,12 +98,13 @@ impl ManifestWriter {
                 format!("manifest incomplete: {} of {total} lines written", self.next),
             ));
         }
-        self.sink.flush().map_err(|e| SimError::manifest_io(&self.partial, e))?;
+        simstate::retry_io(simstate::IO_RETRY_ATTEMPTS, || self.sink.flush())
+            .map_err(|e| SimError::manifest_io(&self.partial, e))?;
         drop(self.sink);
-        if std::fs::rename(&self.partial, &self.final_path).is_err() {
+        simstate::retry_io(simstate::IO_RETRY_ATTEMPTS, || {
             std::fs::rename(&self.partial, &self.final_path)
-                .map_err(|e| SimError::manifest_io(&self.final_path, e))?;
-        }
+        })
+        .map_err(|e| SimError::manifest_io(&self.final_path, e))?;
         Ok(())
     }
 }

@@ -30,8 +30,20 @@
 //!   input order as points complete (atomically renamed over the final
 //!   path on success), and [`MatrixOptions::resume`] reloads a prior
 //!   manifest, reuses every `ok` record whose identity (workload, system,
-//!   `config_hash`, scale, window, skip) still matches, and re-runs only
-//!   missing/failed/timed-out points.
+//!   `config_hash`, scale, window, skip, *and trace checksum*) still
+//!   matches, and re-runs only missing/failed/timed-out points. The trace
+//!   checksum ties each record to the exact replay input, so records from
+//!   a regenerated trace are re-run, never silently reused.
+//! * **Engine-state checkpoints** — with [`MatrixOptions::state_dir`] set,
+//!   [`MatrixOptions::warmup_fork`] persists each point's post-warmup
+//!   machine state (keyed by workload, window, trace checksum, and config
+//!   hash) so later runs of the same point fork past warmup, and
+//!   [`MatrixOptions::snapshot_every`] drops periodic mid-measurement
+//!   snapshots so a killed process resumes a point from its last snapshot
+//!   instead of from scratch. Snapshots are `SSTATEv1` containers
+//!   (checksummed, identity-validated); a corrupt or stale one is warned
+//!   about, discarded, and regenerated — restores are bit-identical, so
+//!   checkpointed runs produce byte-identical manifests.
 //!
 //! [`MatrixOptions::fail_fast`] restores the old abort-on-first-failure
 //! behaviour for CI/debug runs: the first failure aborts the sweep with a
@@ -56,7 +68,7 @@ use parking_lot::Mutex;
 use sdclp::SimError;
 use serde::Serialize;
 use simcore::hierarchy::MemorySystem;
-use simcore::{Budget, SimResult};
+use simcore::{Budget, CompactTrace, Engine, SimResult};
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -212,6 +224,10 @@ pub struct RunManifest {
     pub measure: u64,
     pub skip: u64,
     pub trace_len: usize,
+    /// FNV-1a checksum of the replayed trace (hex; empty when trace
+    /// recording itself failed). Part of the resume identity: a record
+    /// taken against a regenerated trace must re-run.
+    pub trace_checksum: String,
     pub wall_seconds: f64,
     pub instructions: u64,
     pub cycles: u64,
@@ -223,14 +239,15 @@ impl RunManifest {
     /// if every field of this key still matches the submitted point.
     fn resume_key(&self) -> String {
         format!(
-            "{}|{}|{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}|{}|{}",
             self.workload,
             self.system,
             self.config_hash,
             self.scale,
             self.warmup,
             self.measure,
-            self.skip
+            self.skip,
+            self.trace_checksum
         )
     }
 
@@ -252,6 +269,7 @@ impl RunManifest {
             measure: f.u64_field("measure")?,
             skip: f.u64_field("skip")?,
             trace_len: f.usize_field("trace_len")?,
+            trace_checksum: f.str_field("trace_checksum")?,
             wall_seconds: f.f64_field("wall_seconds")?,
             instructions: f.u64_field("instructions")?,
             cycles: f.u64_field("cycles")?,
@@ -348,6 +366,21 @@ pub struct MatrixOptions {
     pub fail_fast: bool,
     /// Runaway-simulation ceiling per point.
     pub watchdog: Watchdog,
+    /// Directory holding engine-state checkpoints (`*.sstate`). `None`
+    /// disables both [`MatrixOptions::warmup_fork`] and
+    /// [`MatrixOptions::snapshot_every`].
+    pub state_dir: Option<PathBuf>,
+    /// Persist each point's post-warmup machine state and fork from it on
+    /// later runs of the same (workload, window, trace, config) class,
+    /// skipping the warmup replay. Requires `state_dir`; restores are
+    /// bit-identical (a stale or corrupt checkpoint is discarded and
+    /// regenerated), so results and manifests do not change.
+    pub warmup_fork: bool,
+    /// Take a crash-recovery snapshot every N trace events during
+    /// measurement (0 disables). A killed run's next invocation resumes
+    /// each interrupted point from its last snapshot. Requires
+    /// `state_dir`.
+    pub snapshot_every: u64,
 }
 
 impl MatrixOptions {
@@ -362,6 +395,9 @@ impl MatrixOptions {
             resume: false,
             fail_fast: false,
             watchdog: Watchdog::CyclesPerInstr(Watchdog::DEFAULT_CPI),
+            state_dir: None,
+            warmup_fork: false,
+            snapshot_every: 0,
         }
     }
 
@@ -382,6 +418,25 @@ impl MatrixOptions {
         self.resume = on;
         self
     }
+
+    /// Builder-style checkpoint directory.
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder-style `warmup_fork` toggle.
+    pub fn forking_warmup(mut self, on: bool) -> Self {
+        self.warmup_fork = on;
+        self
+    }
+
+    /// Builder-style mid-measurement snapshot cadence (trace events; 0
+    /// disables).
+    pub fn snapshotting_every(mut self, events: u64) -> Self {
+        self.snapshot_every = events;
+        self
+    }
 }
 
 /// Cross product helper: every workload on every system kind, workload-major
@@ -390,10 +445,148 @@ pub fn cross(workloads: &[Workload], kinds: &[SystemKind]) -> Vec<(Workload, Sys
     workloads.iter().flat_map(|&w| kinds.iter().map(move |&k| (w, k))).collect()
 }
 
-fn hash_config(repr: &str) -> String {
+fn hash_config_u64(repr: &str) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     repr.hash(&mut h);
-    format!("{:016x}", h.finish())
+    h.finish()
+}
+
+/// The engine type matrix points replay on.
+type PointEngine = Engine<Box<dyn MemorySystem + Send>>;
+
+/// Cold warmup replays run in bounded spans of this many trace events, so
+/// the post-warmup fork point lands on a deterministic event boundary.
+/// Replay semantics are span-size-independent (a span is just a bounded
+/// walk of the same events), so this only positions the checkpoint.
+const WARMUP_REPLAY_CHUNK: usize = 4096;
+
+/// Per-point checkpoint policy: where snapshots live, what identity they
+/// must carry, and which of the two layers (post-warmup fork, periodic
+/// mid-measurement) are active.
+struct CheckpointPlan<'a> {
+    store: &'a simstate::CheckpointStore,
+    /// Fork from / persist the post-warmup state.
+    warm_fork: bool,
+    /// Mid-measurement snapshot cadence in trace events (0 = off).
+    snapshot_every: u64,
+    /// The instruction window, for detecting warmup crossing / completion.
+    warmup: u64,
+    window_total: u64,
+    /// Snapshot identity — embedded in every container and validated on
+    /// every load, beneath the key-level separation.
+    config_hash: u64,
+    trace_checksum: u64,
+    warm_key: String,
+    mid_key: String,
+}
+
+impl CheckpointPlan<'_> {
+    /// Has this engine consumed its whole window (or its budget)?
+    fn finished(&self, engine: &PointEngine) -> bool {
+        engine.timed_out() || engine.instructions() >= self.window_total
+    }
+
+    /// Persist `engine`'s state under `key` (warn-and-continue on failure:
+    /// a checkpoint that cannot be written costs future savings, never
+    /// this point's result).
+    fn persist(&self, key: &str, engine: &PointEngine, pos: usize) {
+        let snap = simstate::Snapshot {
+            config_hash: self.config_hash,
+            trace_checksum: self.trace_checksum,
+            trace_pos: pos as u64,
+            payload: engine.snapshot(),
+        };
+        if let Err(e) = self.store.save(key, &snap) {
+            eprintln!(
+                "warning: could not write checkpoint {}: {e}",
+                self.store.path_for(key).display()
+            );
+        }
+    }
+
+    /// Checkpoint-aware replay. Restores from the freshest valid snapshot
+    /// (mid-measurement over post-warmup), discarding and regenerating
+    /// corrupt or stale ones; on a cold start with `warm_fork`, replays to
+    /// the warmup boundary and persists the fork point; with
+    /// `snapshot_every`, drops periodic recovery snapshots through the
+    /// measurement and removes the (now obsolete) one on completion.
+    ///
+    /// Takes and returns the engine by value: a restore that fails midway
+    /// leaves partially-loaded state, so that path discards the engine and
+    /// rebuilds a cold one via `rebuild`.
+    fn replay(
+        &self,
+        mut engine: PointEngine,
+        rebuild: &dyn Fn() -> PointEngine,
+        trace: &CompactTrace,
+    ) -> PointEngine {
+        let mut pos = 0usize;
+        let mut restored = false;
+        let mut candidates: Vec<&String> = Vec::new();
+        if self.snapshot_every > 0 {
+            candidates.push(&self.mid_key);
+        }
+        if self.warm_fork {
+            candidates.push(&self.warm_key);
+        }
+        for key in candidates {
+            match self.store.load(key, self.config_hash, self.trace_checksum) {
+                Ok(None) => {} // cold start for this layer
+                Ok(Some(snap)) => match engine.restore(&snap.payload) {
+                    Ok(()) => {
+                        pos = usize::try_from(snap.trace_pos)
+                            .unwrap_or(usize::MAX)
+                            .min(trace.events.len());
+                        restored = true;
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "warning: discarding checkpoint {} (restore failed: {e}); regenerating",
+                            self.store.path_for(key).display()
+                        );
+                        let _ = self.store.remove(key);
+                        engine = rebuild();
+                    }
+                },
+                Err(e) => {
+                    eprintln!(
+                        "warning: discarding checkpoint {} ({e}); regenerating",
+                        self.store.path_for(key).display()
+                    );
+                    let _ = self.store.remove(key);
+                }
+            }
+            if restored {
+                break;
+            }
+        }
+
+        if !restored && self.warm_fork {
+            while engine.instructions() < self.warmup
+                && !engine.timed_out()
+                && pos < trace.events.len()
+            {
+                pos = engine.replay_span(trace, pos, WARMUP_REPLAY_CHUNK);
+            }
+            self.persist(&self.warm_key, &engine, pos);
+        }
+
+        if self.snapshot_every > 0 {
+            let span = usize::try_from(self.snapshot_every).unwrap_or(usize::MAX);
+            loop {
+                pos = engine.replay_span(trace, pos, span);
+                if self.finished(&engine) || pos >= trace.events.len() {
+                    break;
+                }
+                self.persist(&self.mid_key, &engine, pos);
+            }
+            // The point completed: its recovery snapshot is obsolete.
+            let _ = self.store.remove(&self.mid_key);
+        } else {
+            engine.replay_from(trace, pos);
+        }
+        engine
+    }
 }
 
 /// Render a contained panic payload.
@@ -457,59 +650,41 @@ impl Runner {
         }
 
         // Per-point identity, computed up front: the manifest's
-        // config_hash and the resume key both derive from it.
-        let hashes: Vec<String> =
-            points.iter().map(|p| hash_config(&p.system.config_repr(self))).collect();
+        // config_hash, the resume key, and checkpoint identity all derive
+        // from it.
+        let hash_u64s: Vec<u64> =
+            points.iter().map(|p| hash_config_u64(&p.system.config_repr(self))).collect();
+        let hashes: Vec<String> = hash_u64s.iter().map(|h| format!("{h:016x}")).collect();
 
-        // Resume: index prior `ok` records by identity, then pre-resolve
-        // matching points without re-simulating them.
+        // Resume: index prior `ok` records by identity. Resolution happens
+        // inside each shard once its trace — and thus the trace checksum
+        // the identity includes — is known: a record taken against a
+        // regenerated trace must re-run, not be silently reused.
         let results: Vec<Mutex<Option<RunRecord>>> =
             points.iter().map(|_| Mutex::new(None)).collect();
-        let mut resumed_count = 0usize;
+        let mut resume_index: BTreeMap<String, RunManifest> = BTreeMap::new();
         if opts.resume {
             if let Some(path) = &opts.manifest_path {
-                let mut by_key: BTreeMap<String, RunManifest> = BTreeMap::new();
                 for m in load_manifests(path)? {
                     if m.status == "ok" {
-                        by_key.insert(m.resume_key(), m);
+                        resume_index.insert(m.resume_key(), m);
                     }
-                }
-                for (i, p) in points.iter().enumerate() {
-                    let key = self.point_resume_key(p, &hashes[i]);
-                    let Some(prior) = by_key.get(&key) else { continue };
-                    let mut prior_manifest = prior.clone();
-                    prior_manifest.index = i;
-                    *results[i].lock() = Some(RunRecord {
-                        workload: p.workload,
-                        kind: p.system.kind(),
-                        label: p.system.label(),
-                        status: PointStatus::Resumed,
-                        result: SimResult {
-                            instructions: prior_manifest.instructions,
-                            cycles: prior_manifest.cycles,
-                            stats: Default::default(),
-                        },
-                        manifest: prior_manifest,
-                    });
-                    resumed_count += 1;
                 }
             }
         }
-        if opts.progress && resumed_count > 0 {
-            eprintln!("[resume] reusing {resumed_count}/{total} ok points from prior manifest");
-        }
 
-        // Group the *remaining* point indices by workload, preserving
-        // first-appearance order; one shard per workload keeps its trace
-        // alive exactly as long as needed. (BTreeMap so nothing downstream
-        // can ever observe hash-order — shard *scheduling* follows
-        // shard_order regardless.)
+        // Engine-state checkpoints (post-warmup forks, mid-measurement
+        // recovery snapshots) live in one store per sweep.
+        let store: Option<simstate::CheckpointStore> =
+            opts.state_dir.as_ref().map(simstate::CheckpointStore::new);
+
+        // Group point indices by workload, preserving first-appearance
+        // order; one shard per workload keeps its trace alive exactly as
+        // long as needed. (BTreeMap so nothing downstream can ever observe
+        // hash-order — shard *scheduling* follows shard_order regardless.)
         let mut shard_order: Vec<Workload> = Vec::new();
         let mut shards: BTreeMap<Workload, Vec<usize>> = BTreeMap::new();
         for (i, p) in points.iter().enumerate() {
-            if results[i].lock().is_some() {
-                continue; // resumed
-            }
             shards
                 .entry(p.workload)
                 .or_insert_with(|| {
@@ -526,19 +701,12 @@ impl Runner {
         }
         let graph_pending = Mutex::new(graph_pending);
 
-        // Manifest lines stream out in input order as points complete;
-        // resumed records submit theirs up front.
-        let mut writer: Option<ManifestWriter> = match &opts.manifest_path {
+        // Manifest lines stream out in input order as points complete
+        // (resumed records submit theirs as their shard resolves them).
+        let writer: Option<ManifestWriter> = match &opts.manifest_path {
             Some(path) => Some(ManifestWriter::create(path)?),
             None => None,
         };
-        if let Some(writer) = &mut writer {
-            for (i, slot) in results.iter().enumerate() {
-                if let Some(rec) = slot.lock().as_ref() {
-                    writer.submit(i, serde::to_json_string(&rec.manifest))?;
-                }
-            }
-        }
         let writer = Mutex::new(writer);
         // First manifest-write failure (compute continues; reported at end).
         let manifest_error: Mutex<Option<SimError>> = Mutex::new(None);
@@ -546,7 +714,7 @@ impl Runner {
         let abort = AtomicBool::new(false);
         let first_failure: Mutex<Option<SimError>> = Mutex::new(None);
 
-        let completed = AtomicUsize::new(resumed_count);
+        let completed = AtomicUsize::new(0);
 
         rayon::scope(|s| {
             for w in shard_order {
@@ -558,7 +726,8 @@ impl Runner {
                 let (writer, manifest_error) = (&writer, &manifest_error);
                 let (abort, first_failure) = (&abort, &first_failure);
                 let points = &points;
-                let hashes = &hashes;
+                let (hashes, hash_u64s) = (&hashes, &hash_u64s);
+                let (resume_index, store) = (&resume_index, &store);
                 s.spawn(move |_| {
                     if abort.load(Ordering::Relaxed) {
                         return;
@@ -572,12 +741,53 @@ impl Runner {
                             Err(format!("trace recording panicked: {}", panic_message(payload)))
                         }
                     };
+                    // The trace's identity, shared by every point of the
+                    // shard: resume keys and checkpoint headers embed it.
+                    let tsum = trace.as_ref().map_or(0, |t| simcore::trace_io::trace_checksum(t));
                     for i in indices {
                         if abort.load(Ordering::Relaxed) {
                             return;
                         }
                         let point = &points[i];
                         let label = point.system.label();
+
+                        // Resume resolution: reuse a prior ok record whose
+                        // full identity — trace checksum included — still
+                        // matches this point.
+                        if trace.is_ok() {
+                            let key = self.point_resume_key(point, &hashes[i], tsum);
+                            if let Some(prior) = resume_index.get(&key) {
+                                let mut prior_manifest = prior.clone();
+                                prior_manifest.index = i;
+                                let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                                if opts.progress {
+                                    eprintln!("[{n}/{total}] {w} on {label}: resumed");
+                                }
+                                if let Some(wr) = writer.lock().as_mut() {
+                                    if let Err(e) =
+                                        wr.submit(i, serde::to_json_string(&prior_manifest))
+                                    {
+                                        let mut slot = manifest_error.lock();
+                                        if slot.is_none() {
+                                            *slot = Some(e);
+                                        }
+                                    }
+                                }
+                                *results[i].lock() = Some(RunRecord {
+                                    workload: w,
+                                    kind: point.system.kind(),
+                                    label,
+                                    status: PointStatus::Resumed,
+                                    result: SimResult {
+                                        instructions: prior_manifest.instructions,
+                                        cycles: prior_manifest.cycles,
+                                        stats: Default::default(),
+                                    },
+                                    manifest: prior_manifest,
+                                });
+                                continue;
+                            }
+                        }
                         let started = Instant::now();
                         let (status, result, trace_len) = match &trace {
                             Err(msg) => (
@@ -586,11 +796,45 @@ impl Runner {
                                 0,
                             ),
                             Ok(trace) => {
+                                let plan = store.as_ref().and_then(|st| {
+                                    if !opts.warmup_fork && opts.snapshot_every == 0 {
+                                        return None;
+                                    }
+                                    // The warmup class: everything the
+                                    // post-warmup machine state depends on.
+                                    let class = format!(
+                                        "{}|{:?}|w{}+m{}|s{}|t{tsum:016x}|c{}",
+                                        w.name(),
+                                        self.scale,
+                                        self.window.warmup,
+                                        self.window.measure,
+                                        self.skip,
+                                        hashes[i],
+                                    );
+                                    Some(CheckpointPlan {
+                                        store: st,
+                                        warm_fork: opts.warmup_fork && self.window.warmup > 0,
+                                        snapshot_every: opts.snapshot_every,
+                                        warmup: self.window.warmup,
+                                        window_total: self.window.total(),
+                                        config_hash: hash_u64s[i],
+                                        trace_checksum: tsum,
+                                        warm_key: format!("warm|{class}"),
+                                        mid_key: format!("mid|{class}"),
+                                    })
+                                });
                                 let run = catch_unwind(AssertUnwindSafe(|| {
-                                    let sys = point.system.build(w.kernel, self);
-                                    let mut engine = self.engine_for(sys);
-                                    engine.set_budget(budget);
-                                    engine.replay(trace);
+                                    let build = || {
+                                        let sys = point.system.build(w.kernel, self);
+                                        let mut engine = self.engine_for(sys);
+                                        engine.set_budget(budget);
+                                        engine
+                                    };
+                                    let mut engine = build();
+                                    match &plan {
+                                        Some(plan) => engine = plan.replay(engine, &build, trace),
+                                        None => engine.replay(trace),
+                                    }
                                     let timed_out = engine.timed_out();
                                     let total_cycles = engine.current_cycle();
                                     (engine.finish(), timed_out, total_cycles)
@@ -656,6 +900,11 @@ impl Runner {
                             measure: self.window.measure,
                             skip: self.skip,
                             trace_len,
+                            trace_checksum: if trace.is_ok() {
+                                format!("{tsum:016x}")
+                            } else {
+                                String::new()
+                            },
                             wall_seconds: if opts.walltime { wall_seconds } else { 0.0 },
                             instructions: result.instructions,
                             cycles: result.cycles,
@@ -743,9 +992,9 @@ impl Runner {
 
     /// The resume identity of a submitted point (must mirror
     /// [`RunManifest::resume_key`]).
-    fn point_resume_key(&self, p: &MatrixPoint, config_hash: &str) -> String {
+    fn point_resume_key(&self, p: &MatrixPoint, config_hash: &str, trace_checksum: u64) -> String {
         format!(
-            "{}|{}|{}|{:?}|{}|{}|{}",
+            "{}|{}|{}|{:?}|{}|{}|{}|{trace_checksum:016x}",
             p.workload.name(),
             p.system.label(),
             config_hash,
@@ -1053,6 +1302,130 @@ mod tests {
             .expect("resume with changed config");
         assert_eq!(builds.load(Ordering::Relaxed), 2, "config-hash mismatch must force a re-run");
         assert_eq!(third[0].status, PointStatus::Ok);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Tentpole (ISSUE 9): a checkpointed sweep — warmup forking plus
+    /// periodic mid-measurement snapshots — emits a byte-identical
+    /// manifest, persists its fork points for later invocations, and
+    /// regenerates corrupt checkpoints instead of trusting them.
+    #[test]
+    fn checkpointed_sweep_is_bit_identical_and_survives_corruption() {
+        let state = std::env::temp_dir().join("sdclp-matrix-test").join("ckpt-state");
+        let _ = std::fs::remove_dir_all(&state);
+        let pinned_path = temp_manifest("ckpt-pinned.jsonl");
+        let forked_path = temp_manifest("ckpt-forked.jsonl");
+        let points = cross(
+            &[
+                Workload::new(Kernel::Pr, GraphInput::Kron),
+                Workload::new(Kernel::Cc, GraphInput::Urand),
+            ],
+            &[SystemKind::Baseline, SystemKind::SdcLp],
+        );
+
+        let pinned = tiny_runner()
+            .run_matrix_with(&points, &MatrixOptions::quiet().with_manifest(&pinned_path))
+            .expect("pinned sweep");
+
+        // Cold checkpointed run: creates the post-warmup fork points.
+        let opts = MatrixOptions::quiet()
+            .with_manifest(&forked_path)
+            .with_state_dir(&state)
+            .forking_warmup(true)
+            .snapshotting_every(2_000);
+        let cold = tiny_runner().run_matrix_with(&points, &opts).expect("cold checkpointed sweep");
+        for (a, b) in pinned.iter().zip(&cold) {
+            assert_eq!(a.result, b.result, "checkpointing must not perturb results");
+        }
+        assert_eq!(
+            std::fs::read(&pinned_path).expect("pinned manifest"),
+            std::fs::read(&forked_path).expect("forked manifest"),
+            "checkpointed manifest diverged from the pinned run"
+        );
+        // Fork points persisted; no recovery snapshots or tmp litter left
+        // (a completed point removes its own mid-measurement snapshot).
+        let names: Vec<String> = std::fs::read_dir(&state)
+            .expect("state dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.iter().filter(|n| n.starts_with("warm_")).count(), points.len());
+        assert!(names.iter().all(|n| n.ends_with(".sstate")), "litter in state dir: {names:?}");
+        assert!(!names.iter().any(|n| n.starts_with("mid_")), "stale snapshots: {names:?}");
+
+        // Warm re-run forks from the persisted checkpoints — still
+        // byte-identical to the pinned run.
+        let warm = tiny_runner().run_matrix_with(&points, &opts).expect("warm sweep");
+        for (a, b) in pinned.iter().zip(&warm) {
+            assert_eq!(a.result, b.result, "warmup fork must not perturb results");
+        }
+        assert_eq!(
+            std::fs::read(&pinned_path).expect("pinned manifest"),
+            std::fs::read(&forked_path).expect("forked manifest"),
+        );
+
+        // Corrupt every checkpoint (truncate mid-payload): the sweep must
+        // discard, regenerate, and still match — never trust, never panic.
+        for name in &names {
+            let p = state.join(name);
+            let bytes = std::fs::read(&p).expect("checkpoint");
+            std::fs::write(&p, &bytes[..bytes.len() / 2]).expect("truncate");
+        }
+        let healed =
+            tiny_runner().run_matrix_with(&points, &opts).expect("sweep despite corruption");
+        for (a, b) in pinned.iter().zip(&healed) {
+            assert_eq!(a.result, b.result, "corrupt checkpoints must be regenerated");
+        }
+        // And the regenerated fork points decode cleanly again.
+        for name in &names {
+            let f = std::fs::File::open(state.join(name)).expect("open");
+            simstate::read_snapshot(f).expect("regenerated checkpoint decodes");
+        }
+        let _ = std::fs::remove_file(&pinned_path);
+        let _ = std::fs::remove_file(&forked_path);
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    /// Satellite (ISSUE 9): the resume identity includes the trace
+    /// checksum — a record whose trace no longer matches must re-run, not
+    /// be silently reused.
+    #[test]
+    fn resume_reruns_points_whose_trace_checksum_changed() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let path = temp_manifest("trace-identity.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let w = Workload::new(Kernel::Pr, GraphInput::Kron);
+        let builds = Arc::new(AtomicUsize::new(0));
+        let spec = {
+            let builds = Arc::clone(&builds);
+            let cfg = simcore::SystemConfig::baseline(1);
+            SystemSpec::custom("counted", format!("{cfg:?}"), move |_| {
+                builds.fetch_add(1, Ordering::Relaxed);
+                Box::new(simcore::BaselineHierarchy::new(&cfg))
+            })
+        };
+        let points = vec![MatrixPoint::new(w, spec)];
+        let opts = MatrixOptions::quiet().with_manifest(&path);
+        tiny_runner().run_matrix_points(&points, &opts).expect("first run");
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+
+        // Unchanged trace: the record is reused.
+        let second = tiny_runner()
+            .run_matrix_points(&points, &opts.clone().resuming(true))
+            .expect("resume run");
+        assert_eq!(second[0].status, PointStatus::Resumed);
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+
+        // Tamper with the recorded trace_checksum — the on-disk stand-in
+        // for a regenerated trace. The record must not be reused.
+        let text = std::fs::read_to_string(&path).expect("manifest");
+        let tampered = text.replace("\"trace_checksum\":\"", "\"trace_checksum\":\"f00d");
+        assert_ne!(text, tampered, "manifest must carry a trace_checksum field");
+        std::fs::write(&path, tampered).expect("rewrite");
+        let third = tiny_runner()
+            .run_matrix_points(&points, &opts.clone().resuming(true))
+            .expect("resume with changed trace identity");
+        assert_eq!(third[0].status, PointStatus::Ok, "changed trace identity must re-run");
+        assert_eq!(builds.load(Ordering::Relaxed), 2);
         let _ = std::fs::remove_file(&path);
     }
 

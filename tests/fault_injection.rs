@@ -39,6 +39,14 @@ impl MemorySystem for Molasses {
     fn reset_stats(&mut self) {
         self.0.reset_stats();
     }
+
+    fn save_state(&self, w: &mut simstate::StateSink) {
+        self.0.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut simstate::StateSource) -> Result<(), simstate::StateError> {
+        self.0.load_state(r)
+    }
 }
 
 /// A build-counting baseline spec: lets tests assert which points actually
