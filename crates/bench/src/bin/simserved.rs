@@ -1,0 +1,122 @@
+#![forbid(unsafe_code)]
+//! The simserve daemon binary: a persistent sweep server with warm
+//! trace/graph/result caches shared across every client.
+//!
+//! ```text
+//! cargo run --release -p gpbench --bin simserved -- \
+//!     --socket results/simserve.sock --warmup-fork
+//! ```
+//!
+//! * `--socket PATH` — Unix socket to serve on (default
+//!   `results/simserve.sock`). A stale socket file left by a killed
+//!   daemon is replaced automatically; a live daemon refuses the bind.
+//! * `--workers N` — worker threads (default: available parallelism).
+//! * `--state-dir DIR` — checkpoint directory (default
+//!   `results/state/simserved`); `--no-state` disables checkpointing.
+//! * `--warmup-fork` — fork points from persisted post-warmup snapshots.
+//! * `--snapshot-every N` — crash snapshot cadence in trace events.
+//! * `--watchdog-cpi N` / `--no-watchdog` — per-point runaway ceiling.
+//! * `--queue-limit N` — largest accepted submission, in points.
+//! * `--archive-limit N` — completed sweeps kept fetchable via
+//!   `simctl results`.
+//! * `--allow-poison` — accept the reserved `poison` system name
+//!   (fault-injection testing).
+//! * `--quiet` — suppress the stderr log.
+//!
+//! The process runs until a client sends `simctl shutdown` (graceful
+//! drain) or it is killed; either way a restart recovers the socket.
+
+use gpworkloads::matrix::Watchdog;
+use simserve::{Daemon, DaemonConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut cfg = DaemonConfig {
+        socket: PathBuf::from("results/simserve.sock"),
+        state_dir: Some(PathBuf::from("results/state/simserved")),
+        ..DaemonConfig::default()
+    };
+    let mut quiet = false;
+    let mut no_state = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => cfg.socket = it.next().expect("--socket needs a path").into(),
+            "--workers" => {
+                cfg.workers =
+                    it.next().expect("--workers needs a count").parse().expect("bad --workers")
+            }
+            "--state-dir" => {
+                cfg.state_dir = Some(it.next().expect("--state-dir needs a path").into())
+            }
+            "--no-state" => no_state = true,
+            "--warmup-fork" => cfg.warmup_fork = true,
+            "--snapshot-every" => {
+                cfg.snapshot_every = it
+                    .next()
+                    .expect("--snapshot-every needs a value")
+                    .parse()
+                    .expect("bad --snapshot-every")
+            }
+            "--watchdog-cpi" => {
+                cfg.watchdog = Watchdog::CyclesPerInstr(
+                    it.next()
+                        .expect("--watchdog-cpi needs a value")
+                        .parse()
+                        .expect("bad --watchdog-cpi"),
+                )
+            }
+            "--no-watchdog" => cfg.watchdog = Watchdog::Off,
+            "--queue-limit" => {
+                cfg.queue_limit = it
+                    .next()
+                    .expect("--queue-limit needs a count")
+                    .parse()
+                    .expect("bad --queue-limit")
+            }
+            "--archive-limit" => {
+                cfg.archive_limit = it
+                    .next()
+                    .expect("--archive-limit needs a count")
+                    .parse()
+                    .expect("bad --archive-limit")
+            }
+            "--allow-poison" => cfg.allow_poison = true,
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!(
+                    "unknown argument {other:?} (try --socket / --workers / --state-dir / \
+                     --no-state / --warmup-fork / --snapshot-every / --watchdog-cpi / \
+                     --no-watchdog / --queue-limit / --archive-limit / --allow-poison / --quiet)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if no_state {
+        cfg.state_dir = None;
+        cfg.warmup_fork = false;
+        cfg.snapshot_every = 0;
+    }
+    if !quiet {
+        cfg.log = Some(Arc::new(|msg: &str| eprintln!("simserved: {msg}")));
+    }
+    // Persist generated graphs across daemon restarts (same cache the
+    // batch harness binaries use).
+    if std::env::var_os("GRAPH_CACHE_DIR").is_none() {
+        std::env::set_var("GRAPH_CACHE_DIR", "target/graph-cache");
+    }
+
+    match Daemon::start(cfg) {
+        Ok(handle) => {
+            handle.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("simserved: failed to start: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -18,69 +18,8 @@
 //!   and the Chrome trace-event JSON for Perfetto.
 
 use gpbench::HarnessOpts;
-use gpworkloads::{all_workloads, SystemKind, Workload};
+use gpworkloads::{find_system, find_workload, norm_name};
 use std::process::ExitCode;
-
-const SYSTEMS: [SystemKind; 7] = [
-    SystemKind::Baseline,
-    SystemKind::SdcLp,
-    SystemKind::TOpt,
-    SystemKind::Distill,
-    SystemKind::L1d40kIso,
-    SystemKind::DoubleLlc,
-    SystemKind::Expert,
-];
-
-/// Lowercase and squash every non-alphanumeric run to one `_`, so
-/// `SDC+LP` matches `sdc_lp`, `sdc-lp`, and `sdclp` comparisons stay
-/// predictable for users typing flag values.
-fn norm(name: &str) -> String {
-    let mut out = String::with_capacity(name.len());
-    let mut gap = false;
-    for c in name.chars() {
-        if c.is_ascii_alphanumeric() {
-            if gap && !out.is_empty() {
-                out.push('_');
-            }
-            gap = false;
-            out.push(c.to_ascii_lowercase());
-        } else {
-            gap = true;
-        }
-    }
-    out
-}
-
-fn find_system(arg: &str) -> Result<SystemKind, String> {
-    let want = norm(arg);
-    for k in SYSTEMS {
-        let n = norm(k.name());
-        if n == want || n.starts_with(&want) {
-            return Ok(k);
-        }
-    }
-    Err(format!("unknown system {arg:?} (known: {})", SYSTEMS.map(|k| norm(k.name())).join(", ")))
-}
-
-fn find_workload(arg: &str) -> Result<Workload, String> {
-    let all = all_workloads();
-    if let Some(w) = all.iter().find(|w| w.name() == arg) {
-        return Ok(*w);
-    }
-    let matches: Vec<&Workload> = all.iter().filter(|w| w.name().contains(arg)).collect();
-    match matches.as_slice() {
-        [w] => Ok(**w),
-        [] => Err(format!(
-            "unknown workload {arg:?} (examples: {}, {}, ...)",
-            all[0].name(),
-            all[1].name()
-        )),
-        many => Err(format!(
-            "ambiguous workload {arg:?} matches: {}",
-            many.iter().map(|w| w.name()).collect::<Vec<_>>().join(", ")
-        )),
-    }
-}
 
 fn main() -> ExitCode {
     // Peel off the timeline-specific flags, then hand the rest to the
@@ -137,7 +76,7 @@ fn main() -> ExitCode {
     println!();
     print!("{}", simtel::render::ascii_timeline(&output.intervals));
 
-    let point = format!("{}.{}", workload.name(), norm(kind.name()));
+    let point = format!("{}.{}", workload.name(), norm_name(kind.name()));
     if let Some(path) = &csv_path {
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);

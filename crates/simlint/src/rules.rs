@@ -157,11 +157,12 @@ impl FileCtx {
             // workloads manifest recorder; the simulation stack is
             // cycle-accurate and must never read host clocks. simstate is
             // in scope so checkpoint retries stay count-bounded, never
-            // backoff-timed.
+            // backoff-timed; simserve is in scope so daemon liveness
+            // comes from blocking I/O and condvars, never timeouts.
             "wall-clock" => {
                 matches!(
                     self.crate_name.as_str(),
-                    "simcore" | "core" | "kernels" | "graph" | "simtel" | "simstate"
+                    "simcore" | "core" | "kernels" | "graph" | "simtel" | "simstate" | "simserve"
                 )
             }
             "narrowing-cast" => self.crate_name == "simcore",
@@ -169,8 +170,13 @@ impl FileCtx {
             "forbid-unsafe" => self.is_crate_root,
             // Simulator libraries report through stats and telemetry sinks;
             // stray prints interleave with harness output and desync logs.
+            // The simserve library logs only through its host-supplied
+            // callback (the simserved binary owns stderr).
             "no-println" => {
-                matches!(self.crate_name.as_str(), "simcore" | "core" | "simtel" | "simstate")
+                matches!(
+                    self.crate_name.as_str(),
+                    "simcore" | "core" | "simtel" | "simstate" | "simserve"
+                )
             }
             // The semantic rules guard result determinism and hot-path
             // integrity everywhere but the linter's own sources (which

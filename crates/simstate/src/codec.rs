@@ -235,6 +235,22 @@ impl<'a> StateSource<'a> {
         Ok(())
     }
 
+    /// Restore a length-prefixed byte slice whose length is dynamic but
+    /// bounded (e.g. a wire-protocol string field). A stored length above
+    /// `max` is rejected before any allocation happens, so a corrupt
+    /// length prefix cannot ask for gigabytes.
+    pub fn read_bytes_bounded(
+        &mut self,
+        what: &'static str,
+        max: usize,
+    ) -> Result<Vec<u8>, StateError> {
+        let n = self.get_usize()?;
+        if n > max {
+            return Err(StateError::ShapeMismatch { what, expected: max as u64, found: n as u64 });
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
     /// Restore a length-prefixed `u64` slice whose length is dynamic but
     /// bounded (e.g. MSHR occupancy, bounded by file capacity). A stored
     /// length above `max` is rejected.
@@ -338,6 +354,23 @@ mod tests {
         let mut r = StateSource::new(&bytes);
         let mut wrong = [0u64; 4];
         assert!(matches!(r.read_u64s_into("u", &mut wrong), Err(StateError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn bounded_bytes_round_trip_and_reject_oversize() {
+        let mut w = StateSink::new();
+        w.put_bytes(b"hello");
+        let bytes = w.into_bytes();
+
+        let mut r = StateSource::new(&bytes);
+        assert_eq!(r.read_bytes_bounded("s", 16).ok().as_deref(), Some(&b"hello"[..]));
+        assert!(r.expect_end().is_ok());
+
+        let mut r = StateSource::new(&bytes);
+        assert!(matches!(
+            r.read_bytes_bounded("s", 4),
+            Err(StateError::ShapeMismatch { expected: 4, found: 5, .. })
+        ));
     }
 
     #[test]

@@ -96,6 +96,52 @@ impl CheckpointStore {
             Err(e) => Err(StateError::Io(e)),
         }
     }
+
+    /// Reap orphaned checkpoint files left behind by killed processes.
+    ///
+    /// Two classes of file are stale once no sweep is in flight:
+    ///
+    /// - `mid_*.sstate` — mid-measurement crash snapshots. A live sweep
+    ///   deletes its own `mid|…` snapshot when the point completes, so
+    ///   any that remain between sweeps belong to a process that died.
+    ///   (Keys are sanitized by [`path_for`](Self::path_for), which maps
+    ///   the `mid|` prefix to `mid_`.)
+    /// - `*.sstate.tmp` — half-written staging files from a crash inside
+    ///   [`save`](Self::save); the atomic rename never happened, so they
+    ///   hold no checkpoint anyone can load.
+    ///
+    /// Warmup forks (`warm_*.sstate`) are deliberately spared: they are
+    /// keyed by warmup class, stay valid across process lifetimes, and
+    /// are the whole point of the persistent store. Callers must only
+    /// invoke this when no sweep is using the directory (batch binaries
+    /// after their sweeps finish; the daemon at startup and when its
+    /// queue drains). Returns the number of files removed; a missing
+    /// directory is a clean zero, and individual unlink races (another
+    /// reaper got there first) are ignored.
+    pub fn sweep_stale(&self) -> Result<usize, StateError> {
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(StateError::Io(e)),
+        };
+        let mut removed = 0;
+        for entry in entries {
+            let entry = entry.map_err(StateError::Io)?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale = name.ends_with(".sstate.tmp")
+                || (name.starts_with("mid_") && name.ends_with(".sstate"));
+            if !stale {
+                continue;
+            }
+            match fs::remove_file(entry.path()) {
+                Ok(()) => removed += 1,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(StateError::Io(e)),
+            }
+        }
+        Ok(removed)
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +209,34 @@ mod tests {
         // Overwrite after a save replaces it cleanly.
         store.save("k", &snap(9)).expect("re-save");
         assert_eq!(store.load("k", 0xAB, 0xCD).expect("load").expect("present").trace_pos, 9);
+    }
+
+    #[test]
+    fn sweep_stale_reaps_mids_and_tmps_but_spares_warm_forks() {
+        let store = tmp_store("sweep-stale");
+        store.save("warm|pr.kron|small|c=1", &snap(0)).expect("save warm");
+        store.save("mid|pr.kron|small|c=1", &snap(3)).expect("save mid");
+        store.save("mid|cc.urand|small|c=2", &snap(5)).expect("save mid 2");
+        // A crash mid-save leaves a dangling staging file behind.
+        let orphan_tmp = store.path_for("warm|bfs.web|small|c=3").with_extension("sstate.tmp");
+        fs::write(&orphan_tmp, b"half-written").expect("write tmp");
+
+        let removed = store.sweep_stale().expect("sweep");
+        assert_eq!(removed, 3, "two mids + one tmp");
+        assert!(!orphan_tmp.exists());
+        assert!(matches!(store.load("mid|pr.kron|small|c=1", 0xAB, 0xCD), Ok(None)));
+        assert!(matches!(store.load("mid|cc.urand|small|c=2", 0xAB, 0xCD), Ok(None)));
+        let warm = store.load("warm|pr.kron|small|c=1", 0xAB, 0xCD).expect("load").expect("kept");
+        assert_eq!(warm, snap(0));
+
+        // Idempotent: a second pass finds nothing.
+        assert_eq!(store.sweep_stale().expect("sweep again"), 0);
+    }
+
+    #[test]
+    fn sweep_stale_on_missing_dir_is_a_clean_zero() {
+        let store = tmp_store("sweep-missing");
+        assert_eq!(store.sweep_stale().expect("sweep"), 0);
     }
 
     #[test]

@@ -83,12 +83,24 @@ pub fn build_system(
     kernel: Kernel,
     sdclp: &SdcLpConfig,
 ) -> Box<dyn MemorySystem + Send> {
-    let cfg = kind.system_config(1);
+    build_system_with_config(kind, kernel, sdclp, &kind.system_config(1))
+}
+
+/// [`build_system`] with an explicit [`SystemConfig`] instead of the
+/// kind's Table I default — the DRAM channel sweep overrides
+/// `cfg.dram.channels` while keeping the design's structure (SDC routing,
+/// distillation, replacement policy) intact.
+pub fn build_system_with_config(
+    kind: SystemKind,
+    kernel: Kernel,
+    sdclp: &SdcLpConfig,
+    cfg: &SystemConfig,
+) -> Box<dyn MemorySystem + Send> {
     match kind {
-        SystemKind::SdcLp => Box::new(sdclp_system(&cfg, *sdclp)),
-        SystemKind::Expert => Box::new(expert_system(&cfg, *sdclp, kernel.expert_averse_sids())),
-        SystemKind::Distill => Box::new(simcore::BaselineHierarchy::new_distill(&cfg)),
-        _ => Box::new(simcore::BaselineHierarchy::new(&cfg)),
+        SystemKind::SdcLp => Box::new(sdclp_system(cfg, *sdclp)),
+        SystemKind::Expert => Box::new(expert_system(cfg, *sdclp, kernel.expert_averse_sids())),
+        SystemKind::Distill => Box::new(simcore::BaselineHierarchy::new_distill(cfg)),
+        _ => Box::new(simcore::BaselineHierarchy::new(cfg)),
     }
 }
 

@@ -10,16 +10,18 @@ pub mod configs;
 mod manifest;
 pub mod matrix;
 pub mod multicore;
+pub mod names;
 pub mod regular;
 pub mod runner;
 pub mod singlecore;
 
-pub use configs::{build_multicore, build_system, SystemKind};
+pub use configs::{build_multicore, build_system, build_system_with_config, SystemKind};
 pub use manifest::validate_json;
 pub use matrix::{
     cross, MatrixOptions, MatrixPoint, PointStatus, RunManifest, RunRecord, SystemSpec, Watchdog,
 };
 pub use multicore::{generate_mixes, paper_mixes, Mix, MulticoreRunner, MIX_WIDTH};
+pub use names::{find_scale, find_system, find_workload, norm_name};
 pub use regular::{run_regular, RegularKind};
 pub use runner::Runner;
 pub use sdclp::SimError;

@@ -58,14 +58,14 @@
 //! it off to stay reproducible). A progress line per completed point goes
 //! to stderr.
 
-use crate::configs::{build_system, SystemKind};
+use crate::configs::{build_system, build_system_with_config, SystemKind};
 use crate::manifest::{load_manifests, parse_json_object, Fields, ManifestWriter};
 use crate::runner::Runner;
 use crate::singlecore::Workload;
 use gpgraph::GraphInput;
 use gpkernels::Kernel;
 use parking_lot::Mutex;
-use sdclp::SimError;
+use sdclp::{SdcLpConfig, SimError};
 use serde::Serialize;
 use simcore::hierarchy::MemorySystem;
 use simcore::{Budget, CompactTrace, Engine, SimResult};
@@ -104,6 +104,24 @@ impl SystemSpec {
         SystemSpec::Custom { label: label.into(), config: config.into(), build: Arc::new(build) }
     }
 
+    /// A named design with its DRAM channel count overridden (the
+    /// channel-count study: `dram_sweep` and simserve submissions with an
+    /// explicit `channels` use this). The label is `{name}@{n}ch` and the
+    /// config repr embeds the full overridden [`simcore::SystemConfig`],
+    /// so points with different channel counts never share a
+    /// `config_hash` — and a zero request clamps to one channel rather
+    /// than building an unclocked DRAM.
+    pub fn kind_with_channels(kind: SystemKind, channels: usize, sdclp: &SdcLpConfig) -> Self {
+        let mut cfg = kind.system_config(1);
+        cfg.dram.channels = channels.max(1);
+        let label = format!("{}@{}ch", kind.name(), cfg.dram.channels);
+        let repr = format!("{kind:?} {cfg:?} {sdclp:?} channels-override");
+        let sdclp = *sdclp;
+        SystemSpec::custom(label, repr, move |kernel| {
+            build_system_with_config(kind, kernel, &sdclp, &cfg)
+        })
+    }
+
     pub fn label(&self) -> String {
         match self {
             SystemSpec::Kind(k) => k.name().to_string(),
@@ -117,6 +135,15 @@ impl SystemSpec {
             SystemSpec::Kind(k) => Some(*k),
             SystemSpec::Custom { .. } => None,
         }
+    }
+
+    /// The manifest `config_hash` this spec produces under `runner`'s
+    /// settings (hex, exactly as recorded in
+    /// [`RunManifest::config_hash`]). Exposed so schedulers layered above
+    /// the executor (the simserve daemon) can compute a point's cache
+    /// identity without simulating it.
+    pub fn config_hash(&self, runner: &Runner) -> String {
+        format!("{:016x}", hash_config_u64(&self.config_repr(runner)))
     }
 
     fn config_repr(&self, runner: &Runner) -> String {
@@ -236,8 +263,11 @@ pub struct RunManifest {
 
 impl RunManifest {
     /// The resume identity of a record: a prior `ok` line is reused only
-    /// if every field of this key still matches the submitted point.
-    fn resume_key(&self) -> String {
+    /// if every field of this key still matches the submitted point. The
+    /// same key (via [`Runner::point_resume_key`]) addresses the simserve
+    /// daemon's warm result cache, so batch resume and daemon cache hits
+    /// share one identity definition.
+    pub fn resume_key(&self) -> String {
         format!(
             "{}|{}|{}|{}|{}|{}|{}|{}",
             self.workload,
@@ -291,6 +321,10 @@ pub struct RunRecord {
     pub status: PointStatus,
     pub result: SimResult,
     pub manifest: RunManifest,
+    /// Interval telemetry collected during this point's replay, when
+    /// [`MatrixOptions::telemetry`] was set and the point actually
+    /// simulated (`None` for resumed and failed points).
+    pub telemetry: Option<simtel::TelemetryOutput>,
 }
 
 impl RunRecord {
@@ -381,6 +415,18 @@ pub struct MatrixOptions {
     /// each interrupted point from its last snapshot. Requires
     /// `state_dir`.
     pub snapshot_every: u64,
+    /// Collect interval telemetry per simulated point (attached inside
+    /// the point's fault domain; proven non-perturbing, so results and
+    /// manifests do not change). Collected output lands in
+    /// [`RunRecord::telemetry`].
+    pub telemetry: Option<simtel::TelemetryConfig>,
+    /// Reap orphaned checkpoint files (`mid_*` crash snapshots and
+    /// `.sstate.tmp` staging leftovers from killed processes) out of
+    /// `state_dir` once the sweep completes, via
+    /// [`simstate::CheckpointStore::sweep_stale`]. On for harness runs;
+    /// off for library callers and the simserve daemon, which reaps on
+    /// its own startup/idle schedule because its sweeps overlap.
+    pub reap_stale: bool,
 }
 
 impl MatrixOptions {
@@ -398,6 +444,8 @@ impl MatrixOptions {
             state_dir: None,
             warmup_fork: false,
             snapshot_every: 0,
+            telemetry: None,
+            reap_stale: true,
         }
     }
 
@@ -435,6 +483,12 @@ impl MatrixOptions {
     /// disables).
     pub fn snapshotting_every(mut self, events: u64) -> Self {
         self.snapshot_every = events;
+        self
+    }
+
+    /// Builder-style per-point telemetry collection.
+    pub fn with_telemetry(mut self, cfg: simtel::TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
         self
     }
 }
@@ -784,16 +838,18 @@ impl Runner {
                                         stats: Default::default(),
                                     },
                                     manifest: prior_manifest,
+                                    telemetry: None,
                                 });
                                 continue;
                             }
                         }
                         let started = Instant::now();
-                        let (status, result, trace_len) = match &trace {
+                        let (status, result, trace_len, telemetry) = match &trace {
                             Err(msg) => (
                                 PointStatus::Failed { message: msg.clone() },
                                 SimResult::default(),
                                 0,
+                                None,
                             ),
                             Ok(trace) => {
                                 let plan = store.as_ref().and_then(|st| {
@@ -823,11 +879,20 @@ impl Runner {
                                         mid_key: format!("mid|{class}"),
                                     })
                                 });
+                                // One collector per point, attached inside
+                                // the same fault domain as the replay.
+                                // Telemetry only observes, so results stay
+                                // bit-identical with it on.
+                                let tel =
+                                    opts.telemetry.as_ref().map(simtel::TelemetryHandle::collector);
                                 let run = catch_unwind(AssertUnwindSafe(|| {
                                     let build = || {
                                         let sys = point.system.build(w.kernel, self);
                                         let mut engine = self.engine_for(sys);
                                         engine.set_budget(budget);
+                                        if let Some(tel) = &tel {
+                                            engine.attach_telemetry(tel.clone());
+                                        }
                                         engine
                                     };
                                     let mut engine = build();
@@ -839,7 +904,7 @@ impl Runner {
                                     let total_cycles = engine.current_cycle();
                                     (engine.finish(), timed_out, total_cycles)
                                 }));
-                                match run {
+                                let (status, result, trace_len) = match run {
                                     Ok((result, false, _)) => {
                                         (PointStatus::Ok, result, trace.events.len())
                                     }
@@ -855,7 +920,14 @@ impl Runner {
                                         SimResult::default(),
                                         trace.events.len(),
                                     ),
-                                }
+                                };
+                                // A panicking point's half-collected
+                                // intervals describe no completed run.
+                                let telemetry = match &status {
+                                    PointStatus::Failed { .. } => None,
+                                    _ => tel.and_then(|t| t.take_output()),
+                                };
+                                (status, result, trace_len, telemetry)
                             }
                         };
                         let wall_seconds = started.elapsed().as_secs_f64();
@@ -942,6 +1014,7 @@ impl Runner {
                             status,
                             result,
                             manifest,
+                            telemetry,
                         });
                     }
                     drop(trace);
@@ -987,12 +1060,36 @@ impl Runner {
         if let Some(wr) = writer.into_inner() {
             wr.finish(total)?;
         }
+
+        // The sweep is complete (aborts returned above), so any `mid_*`
+        // crash snapshot still in the store is an orphan from a killed
+        // process — reap it. Warmup forks are spared; see
+        // `CheckpointStore::sweep_stale`. Best-effort: a failed reap
+        // never fails the sweep that produced valid records.
+        if opts.reap_stale {
+            if let Some(st) = &store {
+                if let Err(e) = st.sweep_stale() {
+                    eprintln!(
+                        "warning: could not sweep stale checkpoints in {}: {e}",
+                        st.dir().display()
+                    );
+                }
+            }
+        }
         Ok(records)
     }
 
-    /// The resume identity of a submitted point (must mirror
-    /// [`RunManifest::resume_key`]).
-    fn point_resume_key(&self, p: &MatrixPoint, config_hash: &str, trace_checksum: u64) -> String {
+    /// The resume identity of a submitted point (mirrors
+    /// [`RunManifest::resume_key`]). `config_hash` is the hex hash from
+    /// [`SystemSpec::config_hash`]; `trace_checksum` is the FNV-1a sum of
+    /// the recorded trace. The simserve daemon keys its warm result cache
+    /// with exactly this string.
+    pub fn point_resume_key(
+        &self,
+        p: &MatrixPoint,
+        config_hash: &str,
+        trace_checksum: u64,
+    ) -> String {
         format!(
             "{}|{}|{}|{:?}|{}|{}|{}|{trace_checksum:016x}",
             p.workload.name(),
@@ -1059,6 +1156,96 @@ mod tests {
                 "matrix result for {w} on {k} diverged from sequential run_one"
             );
         }
+    }
+
+    #[test]
+    fn telemetry_option_collects_intervals_without_perturbing_manifests() {
+        let w = Workload::new(Kernel::Bfs, GraphInput::Kron);
+        let points = [(w, SystemKind::SdcLp)];
+        let plain =
+            tiny_runner().run_matrix_with(&points, &MatrixOptions::quiet()).expect("plain sweep");
+        let cfg = simtel::TelemetryConfig { interval_instructions: 10_000, ..Default::default() };
+        let traced = tiny_runner()
+            .run_matrix_with(&points, &MatrixOptions::quiet().with_telemetry(cfg))
+            .expect("traced sweep");
+
+        assert_eq!(plain[0].result, traced[0].result, "telemetry must not perturb results");
+        assert_eq!(
+            serde::to_json_string(&plain[0].manifest),
+            serde::to_json_string(&traced[0].manifest),
+            "telemetry must not perturb manifests"
+        );
+        assert!(plain[0].telemetry.is_none());
+        let out = traced[0].telemetry.as_ref().expect("telemetry collected");
+        assert!(!out.intervals.is_empty());
+        let sum: u64 = out.intervals.iter().map(|iv| iv.instructions).sum();
+        assert_eq!(sum, traced[0].result.instructions, "interval sums must reconcile");
+    }
+
+    #[test]
+    fn channel_override_specs_hash_distinctly_and_more_channels_never_hurt() {
+        let r = tiny_runner();
+        let w = Workload::new(Kernel::Pr, GraphInput::Urand);
+        let points: Vec<MatrixPoint> = [1usize, 4]
+            .iter()
+            .map(|&ch| {
+                MatrixPoint::new(
+                    w,
+                    SystemSpec::kind_with_channels(SystemKind::Baseline, ch, &r.sdclp),
+                )
+            })
+            .collect();
+        let recs = r.run_matrix_points(&points, &MatrixOptions::quiet()).expect("sweep runs");
+        assert_eq!(recs[0].label, "Baseline@1ch");
+        assert_eq!(recs[1].label, "Baseline@4ch");
+        assert_ne!(
+            recs[0].manifest.config_hash, recs[1].manifest.config_hash,
+            "channel counts must not share a config hash"
+        );
+        assert!(recs.iter().all(RunRecord::is_ok));
+        assert!(
+            recs[1].result.cycles <= recs[0].result.cycles,
+            "4 channels must not be slower than 1"
+        );
+    }
+
+    #[test]
+    fn completed_sweep_reaps_orphan_mid_snapshots_but_keeps_warm_forks() {
+        let dir = std::env::temp_dir().join("sdclp-matrix-test").join("reap-stale");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = simstate::CheckpointStore::new(&dir);
+        // Plant an orphan from a hypothetical killed process.
+        let orphan = simstate::Snapshot {
+            config_hash: 1,
+            trace_checksum: 2,
+            trace_pos: 3,
+            payload: vec![0xAA; 16],
+        };
+        store.save("mid|orphan|from|killed|process", &orphan).expect("plant orphan");
+
+        let r = tiny_runner();
+        let w = Workload::new(Kernel::Pr, GraphInput::Kron);
+        let opts = MatrixOptions {
+            state_dir: Some(dir.clone()),
+            warmup_fork: true,
+            reap_stale: true,
+            ..MatrixOptions::quiet()
+        };
+        r.run_matrix_with(&[(w, SystemKind::Baseline)], &opts).expect("sweep runs");
+
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("state dir exists")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().any(|n| n.starts_with("warm_") && n.ends_with(".sstate")),
+            "warmup fork survives the reap: {names:?}"
+        );
+        assert!(
+            !names.iter().any(|n| n.starts_with("mid_")),
+            "orphan mid snapshot was reaped: {names:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
